@@ -1,0 +1,11 @@
+"""Shared settings for the benchmark suite.
+
+Every ``test_bench_*`` regenerates one of the paper's figures (or an
+ablation) via ``benchmark.pedantic(…, rounds=1)`` — the interesting output
+is the printed table and the shape assertions, not the wall-clock
+statistics, so one round suffices.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+REDUCED_HS = [2, 5, 10, 20, 40, 60, 80, 100]

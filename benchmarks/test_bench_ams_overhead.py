@@ -1,0 +1,35 @@
+"""Bench EX-G — AMS periodic group communication vs DCoP flooding (§1).
+
+The paper's motivation for gossip-style coordination: AMS's all-to-all
+state exchange costs Θ(n²) control packets per period for the stream's
+entire lifetime, while DCoP pays a bounded flooding cost once.  Both
+tolerate a mid-stream crash (AMS by ring takeover, DCoP by parity).
+"""
+
+from repro.experiments import run_ams_overhead
+
+
+def test_bench_ams_overhead(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_ams_overhead(n_values=[6, 12, 24, 48]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    ams = series.series("ams_ctrl")
+    dcop = series.series("dcop_ctrl")
+    ns = series.x
+
+    # AMS dominates DCoP at every n, and the gap widens quadratically:
+    # quadrupling n multiplies AMS traffic ~16x but DCoP far less
+    assert all(a > d for a, d in zip(ams, dcop))
+    assert ams[-1] / ams[0] > 8 * (ns[-1] / ns[0]) / 8  # superlinear
+    growth_ams = ams[-1] / ams[0]
+    growth_n = ns[-1] / ns[0]
+    assert growth_ams > growth_n ** 1.5  # clearly superlinear in n
+
+    # both survive the crash
+    assert all(d >= 0.99 for d in series.series("ams_delivery_crash"))
+    assert all(d >= 0.99 for d in series.series("dcop_delivery_crash"))

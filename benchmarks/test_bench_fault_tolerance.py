@@ -1,0 +1,34 @@
+"""Bench EX-B — delivery under mid-stream peer crashes.
+
+The paper's §1 claim: "even if some peer stops by fault … a requesting leaf
+peer receives every data of a content".  Parity-protected DCoP should
+dominate no-parity DCoP, which dominates single-source streaming.
+"""
+
+from repro.experiments import run_fault_tolerance
+
+
+def test_bench_fault_tolerance(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_fault_tolerance(
+            crash_counts=[0, 1, 2, 3], n=30, H=10, content_packets=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    parity = series.series("dcop_parity")
+    noparity = series.series("dcop_noparity")
+    single = series.series("single_source")
+
+    # no crashes → everyone perfect
+    assert parity[0] == noparity[0] == single[0] == 1.0
+    # with crashes: parity ≥ no-parity ≥ single-source at every point
+    for k in range(1, len(series)):
+        assert parity[k] >= noparity[k] >= single[k]
+    # single source with its server crashed loses most of the stream
+    assert single[-1] < 0.7
+    # multi-source with parity keeps delivery high even at 3 crashes
+    assert parity[-1] > 0.85

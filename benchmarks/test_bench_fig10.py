@@ -1,0 +1,31 @@
+"""Bench FIG10 — DCoP rounds & control packets vs H (paper Figure 10).
+
+Regenerates both curves at the paper's n=100 scale and asserts the shape
+the paper reports: rounds fall monotonically with H, reaching 2 at H=60
+and 1 at H=100.
+"""
+
+from conftest import REDUCED_HS
+
+from repro.experiments import PAPER_FIG10_REFERENCE, run_fig10
+
+
+def test_bench_fig10(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_fig10(h_values=REDUCED_HS, content_packets=300),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+    print(f"paper reference points: {PAPER_FIG10_REFERENCE}")
+
+    rounds = series.series("rounds")
+    hs = series.x
+    # shape: monotone non-increasing rounds
+    assert all(a >= b for a, b in zip(rounds, rounds[1:]))
+    # paper's quoted points: 2 rounds at H=60, 1 round at H=100
+    assert rounds[hs.index(60)] == PAPER_FIG10_REFERENCE[60]["rounds"]
+    assert rounds[hs.index(100)] == PAPER_FIG10_REFERENCE[100]["rounds"]
+    # at H = n coordination needs exactly n control packets
+    assert series.series("control_packets")[hs.index(100)] == 100

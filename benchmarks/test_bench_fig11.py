@@ -1,0 +1,38 @@
+"""Bench FIG11 — TCoP rounds & control packets vs H (paper Figure 11).
+
+Asserts the paper's qualitative claims: three δ-rounds per selection wave
+(6 rounds at H=60, 3 at H=100) and substantially more control traffic than
+DCoP at every H.
+"""
+
+from conftest import REDUCED_HS
+
+from repro.experiments import PAPER_FIG11_REFERENCE, run_fig10, run_fig11
+
+
+def test_bench_fig11(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_fig11(h_values=REDUCED_HS, content_packets=300),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+    print(f"paper reference points: {PAPER_FIG11_REFERENCE}")
+
+    rounds = series.series("rounds")
+    hs = series.x
+    assert all(a >= b for a, b in zip(rounds, rounds[1:]))
+    # paper: six rounds at H=60 (two waves × 3-round handshake)
+    assert rounds[hs.index(60)] == PAPER_FIG11_REFERENCE[60]["rounds"]
+    assert rounds[hs.index(100)] == 3
+
+    # TCoP transmits more control packets than DCoP across the sweep
+    dcop = run_fig10(h_values=REDUCED_HS, content_packets=300)
+    assert all(
+        t >= d
+        for t, d in zip(
+            series.series("control_packets_total"),
+            dcop.series("control_packets_total"),
+        )
+    )

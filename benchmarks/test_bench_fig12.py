@@ -1,0 +1,42 @@
+"""Bench FIG12 — leaf receipt rate vs H for DCoP and TCoP (paper Figure 12).
+
+Asserts the figure's shape: rates ≥ 1, decreasing toward 1 as H grows,
+"the smaller H the more parity", and TCoP above DCoP in the mid-range
+(the paper quotes 1.226 vs 1.019 at H=60).
+"""
+
+from repro.experiments import PAPER_FIG12_REFERENCE, run_fig12
+
+HS = [2, 5, 10, 20, 40, 60, 100]
+
+
+def test_bench_fig12(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_fig12(h_values=HS, content_packets=2000, repetitions=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+    print(f"paper reference points: {PAPER_FIG12_REFERENCE}")
+
+    dcop = series.series("dcop_rate")
+    tcop = series.series("tcop_rate")
+    hs = series.x
+
+    # every rate is at least the content rate and everything is delivered
+    assert all(r >= 1.0 - 1e-9 for r in dcop + tcop)
+    assert all(d == 1.0 for d in series.series("dcop_delivery"))
+    assert all(d == 1.0 for d in series.series("tcop_delivery"))
+
+    # smaller H → more parity: the H=2 point towers over the H=100 point
+    assert dcop[0] > 2 * dcop[-1]
+    assert tcop[0] > 2 * tcop[-1]
+
+    # both curves approach 1 at H = n (single wave, widest division)
+    assert dcop[-1] < 1.05
+    assert tcop[-1] < 1.05
+
+    # the paper's ordering at the quoted H=60 point: TCoP costs more
+    i60 = hs.index(60)
+    assert tcop[i60] > dcop[i60]

@@ -1,0 +1,33 @@
+"""Bench EX-C — bursty Gilbert–Elliott loss vs parity recovery (§3.2)."""
+
+from repro.experiments import run_loss_recovery
+
+
+def test_bench_loss_recovery(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_loss_recovery(
+            loss_rates=[0.0, 0.01, 0.03, 0.05, 0.1],
+            n=30,
+            H=10,
+            content_packets=400,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    with_parity = series.series("with_parity")
+    without = series.series("without_parity")
+    recovered = series.series("recovered_with_parity")
+
+    # lossless: both perfect, nothing to recover
+    assert with_parity[0] == without[0] == 1.0
+    # parity strictly helps once losses appear
+    for k in range(1, len(series)):
+        assert with_parity[k] >= without[k]
+        assert recovered[k] > 0
+    # at low loss parity recovers essentially everything
+    assert with_parity[1] > 0.999
+    # without parity, delivery degrades roughly with the loss rate
+    assert without[-1] < 0.97

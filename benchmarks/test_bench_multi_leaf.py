@@ -1,0 +1,33 @@
+"""Bench EX-H — per-peer load with many concurrent leaf peers (§1).
+
+"In order to support a large number of leaf peers, a contents peer is
+required to be realized in a high-performance, expensive server computer"
+— unless the load is spread with the MSS model.  The single-source server
+carries ``k·l`` packets for ``k`` leaves; DCoP keeps every peer's load
+within a small multiple of the fair share.
+"""
+
+from repro.experiments import run_multi_leaf
+
+
+def test_bench_multi_leaf(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_multi_leaf(leaf_counts=[1, 2, 5, 10], n=30, H=8),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    single = series.series("single_max_load")
+    dcop = series.series("dcop_max_load")
+    fair = series.series("fair_share")
+    ks = series.x
+
+    # the pinned server ships the whole content to every leaf
+    assert single == [k * 300 for k in ks]
+    # DCoP's hottest peer carries a small multiple of the fair share …
+    for d, f in zip(dcop, fair):
+        assert d < 4 * f + 30
+    # … and is far below the single-source server at scale
+    assert dcop[-1] * 5 < single[-1]

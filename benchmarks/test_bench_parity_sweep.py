@@ -1,0 +1,38 @@
+"""Bench EX-D — the §3.2 parity-margin trade-off.
+
+A larger fault margin h shortens the parity interval (H − h), inflating
+the receipt rate ((interval+1)/interval) but tolerating more simultaneous
+losses per recovery segment.
+"""
+
+import pytest
+
+from repro.analysis import parity_overhead
+from repro.experiments import run_parity_sweep
+
+
+def test_bench_parity_sweep(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_parity_sweep(
+            margins=[0, 1, 2, 3, 5], n=30, H=10, content_packets=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    rates = series.series("receipt_rate")
+    lossy = series.series("delivery_lossy")
+    margins = series.x
+
+    # margin 0: no parity, rate exactly 1
+    assert rates[0] == pytest.approx(1.0)
+    # overhead grows monotonically with the margin …
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+    # … and matches the closed-form single-level formula
+    for m, r in zip(margins, rates):
+        assert r == pytest.approx(parity_overhead(10, m), abs=0.03)
+    # resilience: more margin never hurts delivery under loss
+    assert lossy[-1] >= lossy[0]
+    assert max(lossy) > lossy[0]

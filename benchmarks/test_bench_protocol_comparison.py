@@ -1,0 +1,42 @@
+"""Bench EX-A — all seven coordination variants on one workload.
+
+The trade-off table behind §3.1's discussion: broadcast is 1 round but
+quadratic traffic and maximal redundancy; the unicast chain is minimal
+traffic but n rounds; DCoP/TCoP sit in between; centralized needs its 2PC
+rounds; schedule-based and single-source anchor the extremes.
+"""
+
+from repro.experiments import run_protocol_comparison
+
+
+def test_bench_protocol_comparison(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_protocol_comparison(n=50, H=15, content_packets=300),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    protos = table.column("protocol")
+    rounds = dict(zip(protos, table.column("rounds")))
+    ctrl = dict(zip(protos, table.column("ctrl_total")))
+    rate = dict(zip(protos, table.column("receipt_rate")))
+
+    assert rounds["Broadcast"] == 1
+    assert rounds["UnicastChain"] == 50
+    assert rounds["Centralized"] == 4
+    assert rounds["ScheduleBased"] == 1
+    assert rounds["TCoP"] == 3 * rounds["DCoP"]
+
+    assert ctrl["Broadcast"] == 50 + 50 * 49
+    assert ctrl["UnicastChain"] == 50
+    assert ctrl["ScheduleBased"] == 15
+    assert ctrl["SingleSource"] == 1
+    assert ctrl["TCoP"] > ctrl["DCoP"]
+
+    # redundancy ordering: broadcast ≫ flooding protocols > chain = 1
+    assert rate["Broadcast"] > rate["DCoP"] > rate["UnicastChain"] == 1.0
+
+    # every protocol delivers the full content on lossless channels
+    assert all(d == 1.0 for d in table.column("delivery"))

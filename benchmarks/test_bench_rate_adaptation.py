@@ -1,0 +1,37 @@
+"""Bench EX-I — rate adaptation under mid-stream QoS degradation (§5).
+
+Without adaptation a degraded peer stretches the stream by ~1/factor;
+with the adaptive monitor the completion time stays within a few δ of the
+healthy run at every degradation level.
+"""
+
+from repro.experiments import run_rate_adaptation
+
+
+def test_bench_rate_adaptation(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_rate_adaptation(degrade_factors=[1.0, 0.5, 0.25, 0.1]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    plain = series.series("plain_completed_at")
+    adaptive = series.series("adaptive_completed_at")
+    adaptations = series.series("adaptations")
+
+    # healthy point: identical, no adaptation fired
+    assert plain[0] == adaptive[0]
+    assert adaptations[0] == 0
+
+    healthy = plain[0]
+    for k in range(1, len(series)):
+        # plain completion degrades with the slowdown …
+        assert plain[k] > 1.5 * healthy or k == 1
+        assert plain[k] > plain[k - 1] - 1
+        # … adaptive stays near the healthy baseline
+        assert adaptive[k] < 1.2 * healthy
+        assert adaptations[k] >= 1
+    # the worst case shows the full effect
+    assert plain[-1] > 5 * adaptive[-1]

@@ -1,0 +1,35 @@
+"""Bench EX-J — the §3.1 receipt-capacity (ρ_s) argument, quantified.
+
+"If Hτ ≤ ρ_s, LP_s receives every packet … Otherwise, LP_s loses packets
+due to the buffer overrun."  The broadcast way offers n·τ and drops
+packets until ρ_s ≈ n·τ (its n-fold duplication masks the losses, but
+most of the absorbed capacity is duplicates); DCoP's division fits a
+leaf capacity barely above the content rate with zero drops.
+"""
+
+from repro.experiments import run_receipt_capacity
+
+
+def test_bench_receipt_capacity(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_receipt_capacity(rho_values=[1.5, 2.5, 5.0, 25.0]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    dcop_drops = series.series("dcop_dropped")
+    bc_drops = series.series("broadcast_dropped")
+    bc_eff = series.series("broadcast_efficiency")
+    dcop_eff = series.series("dcop_efficiency")
+
+    # DCoP never overruns, even at ρ_s = 1.5τ
+    assert all(d == 0 for d in dcop_drops)
+    assert all(d == 1.0 for d in series.series("dcop_delivery"))
+    # broadcast overruns until the capacity approaches n·τ
+    assert bc_drops[0] > 100
+    assert all(a >= b for a, b in zip(bc_drops, bc_drops[1:]))
+    assert bc_drops[-1] == 0
+    # and burns capacity on duplicates at every point
+    assert all(d > b for d, b in zip(dcop_eff, bc_eff))

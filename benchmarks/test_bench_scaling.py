@@ -1,0 +1,30 @@
+"""Bench EX-E — scaling with the peer population n.
+
+DCoP's flooding keeps the round count flat as n grows (with H a fixed
+fraction of n), TCoP stays at 3× DCoP, and control traffic grows
+polynomially — the scalability argument of §1.
+"""
+
+from repro.experiments import run_scaling
+
+
+def test_bench_scaling(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_scaling(n_values=[10, 25, 50, 100, 200], content_packets=150),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    dcop = series.series("dcop_rounds")
+    tcop = series.series("tcop_rounds")
+    ctrl = series.series("dcop_ctrl")
+
+    # flooding keeps rounds essentially flat across a 20× population range
+    assert max(dcop) - min(dcop) <= 2
+    # TCoP's handshake always costs ≥ DCoP (3 rounds per wave)
+    assert all(t >= 3 * d - 3 for t, d in zip(tcop, dcop))
+    assert all(t >= d for t, d in zip(tcop, dcop))
+    # traffic grows with n
+    assert ctrl[-1] > ctrl[0]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Heterogeneous peers: the §2 time-slot allocation, worked end to end.
+
+The paper's §2 (Figures 1–3) shows how packets of a content are allocated
+to channels of different bandwidths so the leaf peer can deliver each
+packet immediately on receipt (the *packet allocation property*).  This
+example reproduces the worked 4:2:1 example, checks the property, and then
+scales to a random ten-peer configuration.
+
+Run:  python examples/heterogeneous_peers.py
+"""
+
+from repro.media import allocate_packets
+from repro.media.timeslot import allocation_end_times
+
+
+def show(bandwidths, n_packets, label):
+    alloc = allocate_packets(bandwidths, n_packets)
+    ends = allocation_end_times(bandwidths, n_packets)
+    print(f"-- {label}: bandwidths {bandwidths} --")
+    per_channel = {ch: [] for ch in range(len(bandwidths))}
+    for k, ch in enumerate(alloc, start=1):
+        per_channel[ch].append(f"t{k}")
+    for ch, packets in per_channel.items():
+        print(f"  CP{ch + 1} (bw={bandwidths[ch]}): {' '.join(packets)}")
+    monotone = all(a <= b + 1e-12 for a, b in zip(ends, ends[1:]))
+    print(f"  packet allocation property (no reordering needed): "
+          f"{'HOLDS' if monotone else 'VIOLATED'}")
+    print()
+
+
+def main() -> None:
+    # the paper's Figure 1 example: three peers at ratio 4:2:1, t1..t7 in
+    # the first time unit
+    show([4, 2, 1], 7, "paper Figure 1")
+
+    # one full period (lcm): counts land exactly on the 4:2:1 ratio
+    show([4, 2, 1], 28, "four time units")
+
+    # a larger, uneven population
+    show([5, 4, 3, 2, 1, 1], 32, "six heterogeneous peers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Streaming over bursty lossy channels: parity does its job.
+
+§3.2's claim: with parity interval h and H transmitting peers, the leaf
+"can receive every data of a content even if packets are lost with (H−h)
+channels in a bursty manner".  This example runs the same stream over
+Gilbert–Elliott bursty channels with and without parity and shows how much
+of the content each configuration actually delivers.
+
+Run:  python examples/lossy_network.py
+"""
+
+from repro import DCoP, ProtocolConfig, StreamingSession
+from repro.net.loss import GilbertElliottLoss
+
+
+def run(fault_margin: int, loss: float) -> tuple[float, int, float]:
+    config = ProtocolConfig(
+        n=20,
+        H=8,
+        fault_margin=fault_margin,
+        tau=1.0,
+        delta=5.0,
+        content_packets=800,
+        seed=13,
+    )
+
+    def loss_factory():
+        # mean burst length 3 packets, stationary loss = `loss`
+        p_bg = 1 / 3
+        p_gb = loss * p_bg / (1 - loss)
+        return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
+
+    result = StreamingSession(config, DCoP(), loss_factory=loss_factory).run()
+    return result.delivery_ratio, result.recovered_packets, result.receipt_rate
+
+
+def main() -> None:
+    print(f"{'loss':>6} | {'parity delivery':>15} | {'recovered':>9} | "
+          f"{'no-parity delivery':>18}")
+    print("-" * 60)
+    for loss in (0.01, 0.03, 0.05, 0.10):
+        with_parity, recovered, _ = run(fault_margin=1, loss=loss)
+        without, _, _ = run(fault_margin=0, loss=loss)
+        print(f"{loss:>6.0%} | {with_parity:>15.4f} | {recovered:>9} | "
+              f"{without:>18.4f}")
+    print("\nParity buys back most bursty losses at the cost of the "
+          "receipt-rate overhead shown in Figure 12.")
+
+
+if __name__ == "__main__":
+    main()

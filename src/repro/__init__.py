@@ -1,0 +1,59 @@
+"""repro — reproduction of Itaya et al., *Distributed Coordination
+Protocols to Realize Scalable Multimedia Streaming in Peer-to-Peer Overlay
+Networks* (ICPP 2006).
+
+Quick start::
+
+    from repro import DCoP, ProtocolConfig, StreamingSession
+
+    config = ProtocolConfig(n=100, H=60, fault_margin=1)
+    result = StreamingSession(config, DCoP()).run()
+    print(result.summary())
+
+Package map:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (built from scratch)
+* :mod:`repro.net` — P2P overlay substrate (channels, latency, loss)
+* :mod:`repro.media` — contents, packets, sequence algebra, time slots
+* :mod:`repro.fec` — XOR parity enhancement / division / recovery
+* :mod:`repro.core` — DCoP, TCoP and the baseline coordination protocols
+* :mod:`repro.streaming` — contents/leaf peer agents, sessions, faults
+* :mod:`repro.analysis` — closed-form models cross-checking the simulator
+* :mod:`repro.metrics` — tables, sweep series, stats
+* :mod:`repro.experiments` — one module per paper figure + ablations
+"""
+
+from repro.core import (
+    BroadcastCoordination,
+    CentralizedCoordination,
+    DCoP,
+    ProtocolConfig,
+    ScheduleBasedCoordination,
+    SingleSourceStreaming,
+    TCoP,
+    UnicastChainCoordination,
+)
+from repro.media import MediaContent
+from repro.streaming import (
+    FaultPlan,
+    SessionResult,
+    StreamingSession,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BroadcastCoordination",
+    "CentralizedCoordination",
+    "DCoP",
+    "FaultPlan",
+    "MediaContent",
+    "ProtocolConfig",
+    "SessionResult",
+    "ScheduleBasedCoordination",
+    "SingleSourceStreaming",
+    "StreamingSession",
+    "TCoP",
+    "UnicastChainCoordination",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Closed-form models of the coordination protocols.
+
+Expectation-level recurrences for rounds / control packets and exact
+formulas for parity overhead.  These cross-check the simulator: the tests
+assert the measured figures agree with the models on the regimes where the
+models are exact (large ``H``) and stay within tolerance elsewhere.
+"""
+
+from repro.analysis.models import (
+    dcop_control_packets_exact_large_h,
+    expected_rounds_dcop,
+    expected_rounds_tcop,
+    initial_receipt_rate,
+    parity_overhead,
+    tcop_control_packets_exact_large_h,
+)
+
+__all__ = [
+    "dcop_control_packets_exact_large_h",
+    "expected_rounds_dcop",
+    "expected_rounds_tcop",
+    "initial_receipt_rate",
+    "parity_overhead",
+    "tcop_control_packets_exact_large_h",
+]

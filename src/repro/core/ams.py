@@ -1,0 +1,237 @@
+"""AMS — the asynchronous multi-source streaming baseline (§1, refs [3-5]).
+
+In the AMS model every contents peer transmits a disjoint part of the
+content and *"is, possibly periodically exchanging state information on
+which packets it has sent with all the other contents peers by using a
+simple type of group communication protocol"* — the causally ordered
+broadcast of :mod:`repro.groupcomm`.  The paper's point: this costs
+``n·(n−1)`` control packets per exchange period, the overhead DCoP/TCoP's
+selective flooding avoids.
+
+Our AMS implementation is a complete baseline, not a strawman: the state
+exchange buys real fault tolerance.  Every peer can recompute every other
+peer's initial share deterministically; when a member falls silent for
+``takeover_after_periods`` exchange periods, its ring successor (the next
+recently-heard member) adopts the silent peer's remaining share from the
+last reported cursor, so the leaf still receives the whole content without
+any parity — at the price of quadratic chatter for the stream's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.core.base import (
+    Assignment,
+    CoordinationProtocol,
+    RequestMessage,
+    parity_interval_for,
+    rate_for,
+)
+from repro.groupcomm import CausalBroadcaster
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.contents_peer import ContentsPeerAgent
+    from repro.streaming.session import StreamingSession
+
+
+@dataclass
+class _MemberState:
+    """What a peer knows about one group member."""
+
+    last_heard: float = -1.0
+    cursor: int = 0
+    done: bool = False
+    #: victims whose shares this member reported adopting
+    covering: Set[str] = field(default_factory=set)
+
+
+class AMSCoordination(CoordinationProtocol):
+    """Disjoint shares + periodic causal state exchange + ring takeover.
+
+    Parameters
+    ----------
+    state_period_deltas:
+        State-exchange period, in units of the config's δ.
+    takeover_after_periods:
+        Silence threshold (in periods) after which a member is presumed
+        crashed and its share adopted by its ring successor.
+    """
+
+    name = "AMS"
+
+    def __init__(
+        self,
+        state_period_deltas: float = 2.0,
+        takeover_after_periods: int = 3,
+    ) -> None:
+        if state_period_deltas <= 0:
+            raise ValueError("state period must be positive")
+        if takeover_after_periods < 1:
+            raise ValueError("takeover threshold must be >= 1")
+        self.state_period_deltas = float(state_period_deltas)
+        self.takeover_after_periods = int(takeover_after_periods)
+
+    # ------------------------------------------------------------------
+    def initiate(self, session: "StreamingSession") -> None:
+        cfg = session.config
+        basis = session.content.packet_sequence()
+        interval = parity_interval_for(cfg.n, cfg.fault_margin)
+        rate = rate_for(cfg.tau, cfg.n, interval)
+        view = frozenset(session.peer_ids)
+        for i, pid in enumerate(session.peer_ids):
+            assignment = Assignment(
+                basis=basis, n_parts=cfg.n, index=i, interval=interval, rate=rate
+            )
+            session.overlay.send(
+                session.leaf.peer_id,
+                pid,
+                "request",
+                body=RequestMessage(session.leaf.peer_id, view, assignment),
+                size_bytes=cfg.control_size,
+            )
+
+    # ------------------------------------------------------------------
+    def handle_peer_message(self, agent: "ContentsPeerAgent", message) -> None:
+        if message.kind == "request":
+            self._on_request(agent, message.body)
+        elif message.kind == "cbcast":
+            broadcaster: Optional[CausalBroadcaster] = agent.scratch.get("bcast")
+            if broadcaster is not None:
+                broadcaster.on_receive(message.body)
+
+    def _on_request(self, agent: "ContentsPeerAgent", req: RequestMessage) -> None:
+        agent.merge_view(req.view)
+        stream = agent.activate_with(req.assignment, hops=req.hops)
+        session = agent.session
+        states: Dict[str, _MemberState] = {
+            pid: _MemberState() for pid in session.peer_ids
+        }
+        agent.scratch["states"] = states
+        agent.scratch["assignment"] = req.assignment
+        agent.scratch["adopted"] = set()
+
+        def deliver(sender: str, payload) -> None:
+            state = states[sender]
+            state.last_heard = agent.env.now
+            state.cursor = payload["cursor"]
+            state.done = payload["done"]
+            state.covering |= set(payload["covering"])
+
+        agent.scratch["bcast"] = CausalBroadcaster(
+            overlay=session.overlay,
+            member_id=agent.peer_id,
+            group=list(session.peer_ids),
+            deliver=deliver,
+            size_bytes=session.config.control_size,
+        )
+        agent.env.process(self._state_loop(agent, stream))
+
+    # ------------------------------------------------------------------
+    def _state_loop(self, agent: "ContentsPeerAgent", own_stream):
+        session = agent.session
+        cfg = session.config
+        env = agent.env
+        period = self.state_period_deltas * cfg.delta
+        threshold = self.takeover_after_periods * period
+        states: Dict[str, _MemberState] = agent.scratch["states"]
+        adopted: Set[str] = agent.scratch["adopted"]
+        bcast: CausalBroadcaster = agent.scratch["bcast"]
+        # backstop so the simulation always drains even if members vanish
+        # without successors (e.g. everyone crashed)
+        deadline = 3 * cfg.content_packets / cfg.tau + 40 * cfg.delta
+
+        while not agent.crashed and env.now < deadline:
+            done = all(s.exhausted for s in agent.streams)
+            bcast.broadcast(
+                {
+                    "cursor": own_stream.sent_count,
+                    "done": done,
+                    "covering": sorted(adopted),
+                }
+            )
+            yield env.timeout(period)
+            if agent.crashed:
+                return
+            self._maybe_takeover(agent, states, adopted, threshold)
+            if done and self._group_resolved(agent, states):
+                return
+
+    def _maybe_takeover(
+        self,
+        agent: "ContentsPeerAgent",
+        states: Dict[str, _MemberState],
+        adopted: Set[str],
+        threshold: float,
+    ) -> None:
+        session = agent.session
+        now = agent.env.now
+        members = session.peer_ids
+        alive = [
+            pid
+            for pid in members
+            if pid == agent.peer_id
+            or now - states[pid].last_heard <= threshold
+        ]
+        for victim in members:
+            if victim == agent.peer_id or victim in alive:
+                continue
+            state = states[victim]
+            if state.done or state.last_heard < 0 and now < threshold:
+                continue
+            if any(victim in states[p].covering for p in members):
+                continue  # someone already reported adopting it
+            if victim in adopted:
+                continue
+            # ring successor: the next alive member after the victim
+            idx = members.index(victim)
+            successor = None
+            for step in range(1, len(members)):
+                candidate = members[(idx + step) % len(members)]
+                if candidate in alive:
+                    successor = candidate
+                    break
+            if successor != agent.peer_id:
+                continue
+            self._adopt(agent, victim, state)
+            adopted.add(victim)
+
+    def _adopt(
+        self, agent: "ContentsPeerAgent", victim: str, state: _MemberState
+    ) -> None:
+        """Take over a silent member's remaining share."""
+        from repro.streaming.stream import Stream
+
+        session = agent.session
+        base: Assignment = agent.scratch["assignment"]
+        victim_index = session.peer_ids.index(victim)
+        victim_assignment = Assignment(
+            basis=base.basis,
+            n_parts=base.n_parts,
+            index=victim_index,
+            interval=base.interval,
+            rate=base.rate,
+        )
+        plan = victim_assignment.build_plan()
+        remaining = plan.slice_from(max(0, state.cursor))
+        if len(remaining):
+            agent.add_stream(Stream(remaining, base.rate))
+
+    def _group_resolved(
+        self, agent: "ContentsPeerAgent", states: Dict[str, _MemberState]
+    ) -> bool:
+        """Everyone is done, or dead with their share adopted and done."""
+        members = agent.session.peer_ids
+        for pid in members:
+            if pid == agent.peer_id:
+                continue
+            state = states[pid]
+            if state.done:
+                continue
+            covered = any(pid in states[p].covering for p in members) or (
+                pid in agent.scratch["adopted"]
+            )
+            if not covered:
+                return False
+        return True

@@ -1,0 +1,243 @@
+"""Shared protocol machinery: configuration, assignments, message bodies.
+
+Design note — what a control packet carries.  The paper's control packet
+holds ``(VW_j, SEQ_j, τ_j, H_j)`` and the child *recomputes* the parent's
+subsequence from the content and the derivation chain.  Recomputing the
+chain at arbitrary tree depth would require replaying every ancestor's
+split, so our control packets instead carry the *assignment basis*: the
+parent's remaining postfix (as packet labels) plus the division parameters
+``(n_parts, index, parity interval, rate)``.  Byte-wise a real
+implementation would ship the compact recipe; message *counts* — what
+Figures 10–11 measure — are identical either way, and the child's resulting
+plan is exactly the paper's
+``Div(Esq(pkt_j[m_j>, h), H_j+1, CP_i)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Optional
+
+from repro.fec import divide, enhance
+from repro.media.sequence import PacketSequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+def parity_interval_for(n_parts: int, fault_margin: int) -> int:
+    """Parity interval used when a sequence is split ``n_parts`` ways.
+
+    §3.2/§4: parity is laid out so that each recovery segment spreads over
+    the transmitting peers and the loss of ``fault_margin`` peers (or
+    bursty channels) per segment is survivable — i.e. the interval is
+    ``n_parts − fault_margin`` packets, floored at 1.  A margin of 0 turns
+    parity off entirely (returns 0, by convention "no enhancement").
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if fault_margin < 0:
+        raise ValueError("fault_margin must be >= 0")
+    if fault_margin == 0:
+        return 0
+    return max(1, n_parts - fault_margin)
+
+
+def rate_for(parent_rate: float, n_parts: int, interval: int) -> float:
+    """Per-peer rate after an ``n_parts``-way split with parity ``interval``.
+
+    The paper's ``τ_i := τ_j (h+1) / (h · n_parts)``: the enhanced sequence
+    is ``(h+1)/h`` times longer and shared by ``n_parts`` peers, so the
+    underlying data timeline is preserved.  ``interval == 0`` (no parity)
+    degenerates to an even split.
+    """
+    if interval == 0:
+        return parent_rate / n_parts
+    return parent_rate * (interval + 1) / (interval * n_parts)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Everything a peer needs to build one transmission plan.
+
+    ``plan = Div(Esq(basis, interval), n_parts, index)`` at ``rate``
+    packets/ms.  ``interval == 0`` skips the enhancement (no parity).
+
+    ``explicit`` short-circuits the derivation: the plan is exactly that
+    sequence.  Used by schedulers that compute per-peer subsequences
+    centrally (the §2 heterogeneous time-slot allocation), where the
+    division is not round-robin.
+    """
+
+    basis: PacketSequence
+    n_parts: int
+    index: int
+    interval: int
+    rate: float
+    explicit: Optional[PacketSequence] = None
+
+    def __post_init__(self) -> None:
+        if self.n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        if not 0 <= self.index < self.n_parts:
+            raise ValueError(f"index {self.index} outside 0..{self.n_parts - 1}")
+        if self.interval < 0:
+            raise ValueError("interval must be >= 0")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+    def build_plan(self) -> PacketSequence:
+        if self.explicit is not None:
+            return self.explicit
+        seq = self.basis if self.interval == 0 else enhance(self.basis, self.interval)
+        return divide(seq, self.n_parts, self.index)
+
+
+@dataclass
+class RequestMessage:
+    """Leaf-originated content request (DCoP direct / baseline variants).
+
+    ``hops`` counts coordination rounds since the leaf's request (the
+    request itself is round 1) — the y-axis of Figures 10/11, measured
+    robustly even under heterogeneous channel latencies.
+    """
+
+    leaf_id: str
+    view: FrozenSet[str]
+    assignment: Assignment
+    hops: int = 1
+
+
+@dataclass
+class ControlMessage:
+    """Parent→child handoff carrying the child's assignment (DCoP c,
+    TCoP c2/"start")."""
+
+    sender: str
+    view: FrozenSet[str]
+    assignment: Assignment
+    hops: int = 2
+
+
+@dataclass
+class OfferMessage:
+    """TCoP c1: "will you be my child?"."""
+
+    sender: str
+    view: FrozenSet[str]
+    offer_id: int
+    hops: int = 1
+
+
+@dataclass
+class ConfirmMessage:
+    """TCoP cc1 response to an offer; ``accept=False`` is a rejection."""
+
+    sender: str
+    offer_id: int
+    accept: bool
+
+
+@dataclass
+class ProtocolConfig:
+    """Workload and protocol parameters for one coordination run.
+
+    Attributes
+    ----------
+    n:
+        Number of contents peers.
+    H:
+        Fan-out: peers the leaf contacts initially and each parent selects.
+    fault_margin:
+        ``h`` in the paper's §4 sense: how many peer/channel failures per
+        recovery segment must be survivable.  The parity interval of each
+        split is derived via :func:`parity_interval_for`.  0 disables
+        parity.
+    tau:
+        Content rate τ in packets per millisecond.
+    delta:
+        Expected one-way control latency δ in ms (drives the Mark rule and
+        the round metric).
+    content_packets:
+        Length ``l`` of the packet sequence.
+    request_carries_view:
+        When True (default) the leaf's request includes the identity of all
+        initially selected peers — required anyway so each peer knows its
+        division index — letting first-wave peers exclude one another from
+        selection.
+    with_payload:
+        Generate real payload bytes (enables end-to-end FEC verification;
+        slower).  Symbolic mode is used for the coordination figures.
+    """
+
+    n: int = 100
+    H: int = 3
+    fault_margin: int = 1
+    tau: float = 1.0
+    delta: float = 10.0
+    content_packets: int = 600
+    seed: int = 0
+    packet_size: int = 1024
+    control_size: int = 64
+    request_carries_view: bool = True
+    with_payload: bool = False
+    #: how long a TCoP parent waits for offer replies, in δ units
+    offer_timeout_deltas: float = 4.0
+    #: per-pair channel latency is drawn once as δ·U(1−s, 1+s): hosts in a
+    #: P2P overlay do not sit at identical distances.  0 gives the perfectly
+    #: uniform δ of the paper's idealized model (which degenerately makes
+    #: every TCoP child pick the same earliest parent).
+    pair_latency_spread: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if not 1 <= self.H <= self.n:
+            raise ValueError(f"H must be in 1..n, got H={self.H}, n={self.n}")
+        if self.fault_margin < 0:
+            raise ValueError("fault_margin must be >= 0")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.content_packets < 1:
+            raise ValueError("content_packets must be >= 1")
+        if not 0 <= self.pair_latency_spread < 1:
+            raise ValueError("pair_latency_spread must be in [0, 1)")
+
+    @property
+    def initial_interval(self) -> int:
+        """Parity interval of the leaf's initial H-way division."""
+        return parity_interval_for(self.H, self.fault_margin)
+
+    @property
+    def initial_rate(self) -> float:
+        """Per-peer rate of the initial division (paper: τ(h+1)/(hH))."""
+        return rate_for(self.tau, self.H, self.initial_interval)
+
+
+class CoordinationProtocol(ABC):
+    """Strategy object: message handling for one protocol variant.
+
+    A protocol is stateless across sessions; per-session state lives on the
+    agents (``session.peers[...]``) and in ``protocol_state`` dicts the
+    strategy owns inside the session.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def initiate(self, session: "StreamingSession") -> None:
+        """Leaf-side kickoff: contact the initial peers."""
+
+    @abstractmethod
+    def handle_peer_message(self, agent, message) -> None:
+        """Process a coordination message arriving at a contents peer."""
+
+    def handle_leaf_message(self, session: "StreamingSession", message) -> None:
+        """Process a non-media message arriving at the leaf (TCoP confirms,
+        centralized replies).  Default: ignore."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"

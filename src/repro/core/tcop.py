@@ -1,0 +1,244 @@
+"""TCoP — the non-redundant tree-based coordination protocol (§3.5).
+
+Every selection is a three-round handshake:
+
+1. ``offer`` (the paper's ``c1``): "will you be my child?", carrying the
+   selector's view;
+2. ``confirm`` / ``reject`` (``cc1``): a dormant unclaimed peer accepts the
+   *first* offer it receives and commits to that parent; anyone else
+   rejects (our rejects are explicit messages — the paper's parent
+   "collects the confirmations", which over an asynchronous network needs
+   either negative acks or a timeout; we send the ack and also keep a
+   timeout for lossy channels);
+3. ``start`` (``c2``): the parent, knowing how many children confirmed,
+   splits its stream among itself + the confirmed children and sends each
+   its assignment.
+
+The leaf's initial selection uses the same handshake (request = its offer),
+so each wave costs three δ-rounds — the 3× round inflation over DCoP the
+paper reports.  A parent whose candidates all rejected has still *learned*
+(rejecters are someone's children already → merged into the view) and
+retries with fresh candidates until its view is full — the extra control
+traffic behind Figure 11.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.base import (
+    Assignment,
+    ConfirmMessage,
+    ControlMessage,
+    CoordinationProtocol,
+    OfferMessage,
+    parity_interval_for,
+    rate_for,
+)
+from repro.core.dcop import empty_assignment
+from repro.sim.events import AnyOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.contents_peer import ContentsPeerAgent
+    from repro.streaming.session import StreamingSession
+
+
+class TCoP(CoordinationProtocol):
+    """Tree-based coordination: at most one parent per contents peer."""
+
+    name = "TCoP"
+
+    def __init__(self) -> None:
+        self._offer_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # leaf side
+    # ------------------------------------------------------------------
+    def initiate(self, session: "StreamingSession") -> None:
+        session.env.process(self._leaf_handshake(session))
+
+    def _leaf_handshake(self, session: "StreamingSession"):
+        cfg = session.config
+        env = session.env
+        leaf_id = session.leaf.peer_id
+        state = session.protocol_state
+        confirmed: list[str] = []
+        tried: set[str] = set()
+        attempts = 0
+        base_hops = 0
+        while not confirmed and attempts < 5:
+            attempts += 1
+            base_hops = 3 * (attempts - 1)
+            candidates = [p for p in session.peer_ids if p not in tried]
+            if not candidates:
+                break
+            m = min(cfg.H, len(candidates))
+            rng = session.selection_rng
+            picked = rng.choice(len(candidates), size=m, replace=False)
+            selected = [candidates[i] for i in sorted(picked)]
+            tried.update(selected)
+            oid = next(self._offer_ids)
+            pending = {
+                "expected": set(selected),
+                "responded": set(),
+                "confirmed": [],
+                "event": env.event(),
+            }
+            state[oid] = pending
+            view = frozenset(selected)
+            for pid in selected:
+                session.overlay.send(
+                    leaf_id,
+                    pid,
+                    "request",
+                    body=OfferMessage(leaf_id, view, oid, hops=base_hops + 1),
+                    size_bytes=cfg.control_size,
+                )
+            timeout = env.timeout(cfg.offer_timeout_deltas * cfg.delta)
+            yield AnyOf(env, [pending["event"], timeout])
+            del state[oid]
+            confirmed = pending["confirmed"]
+
+        if not confirmed:
+            return  # no peers reachable; session ends unsynchronized
+
+        basis = session.content.packet_sequence()
+        n_parts = len(confirmed)
+        interval = parity_interval_for(n_parts, cfg.fault_margin)
+        rate = rate_for(cfg.tau, n_parts, interval)
+        view = frozenset(confirmed)
+        for i, pid in enumerate(confirmed):
+            assignment = Assignment(
+                basis=basis, n_parts=n_parts, index=i, interval=interval, rate=rate
+            )
+            session.overlay.send(
+                leaf_id,
+                pid,
+                "start",
+                body=ControlMessage(
+                    leaf_id, view, assignment, hops=base_hops + 3
+                ),
+                size_bytes=cfg.control_size,
+            )
+
+    def handle_leaf_message(self, session: "StreamingSession", message) -> None:
+        body = message.body
+        if isinstance(body, ConfirmMessage):
+            self._record_response(session.protocol_state, body)
+
+    # ------------------------------------------------------------------
+    # peer side
+    # ------------------------------------------------------------------
+    def handle_peer_message(self, agent: "ContentsPeerAgent", message) -> None:
+        body = message.body
+        if message.kind in ("request", "offer"):
+            self._on_offer(agent, body)
+        elif message.kind == "start":
+            self._on_start(agent, body)
+        elif message.kind in ("confirm", "reject"):
+            self._record_response(
+                agent.scratch.setdefault("pending", {}), body
+            )
+            if body.accept:
+                agent.merge_view([body.sender])
+
+    def _on_offer(self, agent: "ContentsPeerAgent", offer: OfferMessage) -> None:
+        agent.merge_view(offer.view)
+        if offer.sender != agent.session.leaf.peer_id:
+            agent.merge_view([offer.sender])
+        accept = agent.parent is None and not agent.active
+        if accept:
+            agent.parent = offer.sender
+            # if the parent's start never arrives (lost on a faulty
+            # channel, or the parent crashed between collect and start),
+            # release the claim so another parent can adopt this peer —
+            # otherwise one lost message wedges the peer forever
+            agent.env.process(self._taken_watchdog(agent, offer.sender))
+        agent.send_control(
+            offer.sender,
+            "confirm" if accept else "reject",
+            ConfirmMessage(agent.peer_id, offer.offer_id, accept),
+        )
+
+    @staticmethod
+    def _taken_watchdog(agent: "ContentsPeerAgent", parent_id: str):
+        cfg = agent.session.config
+        yield agent.env.timeout((cfg.offer_timeout_deltas + 2) * cfg.delta)
+        if not agent.active and agent.parent == parent_id:
+            agent.parent = None
+
+    def _on_start(self, agent: "ContentsPeerAgent", ctl: ControlMessage) -> None:
+        agent.merge_view(ctl.view)
+        stream = agent.activate_with(ctl.assignment, hops=ctl.hops)
+        agent.env.process(self._selection_loop(agent, stream, ctl.hops))
+
+    @staticmethod
+    def _record_response(pending_map: dict, resp: ConfirmMessage) -> None:
+        pending = pending_map.get(resp.offer_id)
+        if pending is None:
+            return  # response landed after the collection window
+        if resp.sender not in pending["expected"]:
+            return
+        pending["expected"].discard(resp.sender)
+        pending["responded"].add(resp.sender)
+        if resp.accept:
+            pending["confirmed"].append(resp.sender)
+        if not pending["expected"] and not pending["event"].triggered:
+            pending["event"].succeed()
+
+    # ------------------------------------------------------------------
+    def _selection_loop(self, agent: "ContentsPeerAgent", stream, base_hops: int):
+        """Repeated offer→collect→start waves until the view is full."""
+        cfg = agent.session.config
+        env = agent.env
+        pending_map = agent.scratch.setdefault("pending", {})
+        round_cursor = base_hops
+        while not agent.view_full and not agent.crashed:
+            children = agent.select_children(cfg.H)
+            if not children:
+                break
+            oid = next(self._offer_ids)
+            pending = {
+                "expected": set(children),
+                "responded": set(),
+                "confirmed": [],
+                "event": env.event(),
+            }
+            pending_map[oid] = pending
+            view = frozenset(agent.view)
+            for child in children:
+                agent.send_control(
+                    child,
+                    "offer",
+                    OfferMessage(agent.peer_id, view, oid, hops=round_cursor + 1),
+                )
+            timeout = env.timeout(cfg.offer_timeout_deltas * cfg.delta)
+            yield AnyOf(env, [pending["event"], timeout])
+            del pending_map[oid]
+            # everyone who answered is known-taken now (confirmed → mine;
+            # rejected → someone else's child); non-responders after the
+            # timeout are treated as unreachable so we never spin on them
+            agent.merge_view(pending["responded"])
+            agent.merge_view(pending["expected"])
+            confirmed = pending["confirmed"]
+            start_hops = round_cursor + 3
+            round_cursor += 3
+            if not confirmed:
+                continue
+            plan = agent.handoff_stream(stream, confirmed)
+            n_parts = len(confirmed) + 1
+            view = frozenset(agent.view)
+            for i, child in enumerate(confirmed):
+                assignment = (
+                    plan.assignments[i]
+                    if plan is not None
+                    else empty_assignment(n_parts, i + 1)
+                )
+                agent.send_control(
+                    child,
+                    "start",
+                    ControlMessage(
+                        agent.peer_id, view, assignment, hops=start_hops
+                    ),
+                )

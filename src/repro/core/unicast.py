@@ -1,0 +1,28 @@
+"""Unicast-chain coordination — the §3.1 "second unicast way" baseline.
+
+The leaf contacts a single contents peer; each activated peer hands part of
+its stream to exactly one further peer, forming a chain ``CP_1 → CP_2 → …``
+until the view covers everyone.  Minimal redundancy, but ``n`` rounds to
+synchronize — the other end of the trade-off DCoP/TCoP sit between.
+
+Run this baseline with ``fault_margin=0``: the chain predates the parity
+machinery, and with a margin each of the ``n−1`` two-way splits would add a
+parity level (compounding overhead the §3.1 description never intends).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ProtocolConfig
+from repro.core.dcop import DCoP
+
+
+class UnicastChainCoordination(DCoP):
+    """DCoP degenerated to fan-out 1: a pure handoff chain."""
+
+    name = "UnicastChain"
+
+    def fanout(self, config: ProtocolConfig) -> int:
+        return 1
+
+    def initial_count(self, config: ProtocolConfig) -> int:
+        return 1

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper figure plus ablations.
+
+Every experiment returns a :class:`~repro.metrics.SweepSeries` whose table
+prints the same rows the paper's figure plots; the paper's quoted reference
+points are embedded as ``PAPER_REFERENCE`` dicts so EXPERIMENTS.md can be
+regenerated mechanically.
+"""
+
+from repro.experiments.runner import run_session, sweep
+from repro.experiments.fig10 import run_fig10, PAPER_FIG10_REFERENCE
+from repro.experiments.fig11 import run_fig11, PAPER_FIG11_REFERENCE
+from repro.experiments.fig12 import run_fig12, PAPER_FIG12_REFERENCE
+from repro.experiments.ablations import (
+    run_ams_overhead,
+    run_fault_tolerance,
+    run_hetero_flooding,
+    run_heterogeneous,
+    run_loss_recovery,
+    run_multi_leaf,
+    run_parity_sweep,
+    run_protocol_comparison,
+    run_rate_adaptation,
+    run_receipt_capacity,
+    run_scaling,
+)
+
+__all__ = [
+    "PAPER_FIG10_REFERENCE",
+    "PAPER_FIG11_REFERENCE",
+    "PAPER_FIG12_REFERENCE",
+    "run_ams_overhead",
+    "run_fault_tolerance",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_hetero_flooding",
+    "run_heterogeneous",
+    "run_loss_recovery",
+    "run_multi_leaf",
+    "run_parity_sweep",
+    "run_protocol_comparison",
+    "run_rate_adaptation",
+    "run_receipt_capacity",
+    "run_scaling",
+    "run_session",
+    "sweep",
+]

@@ -1,0 +1,594 @@
+"""Ablation experiments beyond the paper's three figures.
+
+* EX-A :func:`run_protocol_comparison` — every coordination variant side by
+  side (rounds, traffic, receipt rate) at one (n, H).
+* EX-B :func:`run_fault_tolerance` — crash ``k`` transmitting peers
+  mid-stream; delivery ratio of DCoP (with parity) vs the single-source and
+  no-parity baselines.
+* EX-C :func:`run_loss_recovery` — bursty Gilbert–Elliott channel loss
+  sweep; how much the parity margin recovers.
+* EX-D :func:`run_parity_sweep` — fault margin ``h`` sweep: overhead
+  (receipt rate) vs resilience (delivery under loss), the §3.2 trade-off.
+* EX-E :func:`run_scaling` — n sweep at fixed H fraction: sync time and
+  traffic growth of DCoP vs TCoP vs centralized.
+* EX-F :func:`run_heterogeneous` — §2 time-slot allocation vs naive
+  division over uneven peer bandwidths.
+* EX-G :func:`run_ams_overhead` — the AMS model's quadratic group
+  communication vs DCoP's flooding (§1's motivating comparison).
+* EX-H :func:`run_multi_leaf` — per-peer load with many concurrent leaf
+  peers (§1/§2 scalability motivation).
+* EX-I :func:`run_rate_adaptation` — §5's "change the rate": degraded
+  peers recruit helpers via weighted handoffs.
+* EX-J :func:`run_receipt_capacity` — §3.1's leaf receipt capacity ρ_s:
+  buffer overrun under broadcast vs DCoP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import (
+    BroadcastCoordination,
+    CentralizedCoordination,
+    DCoP,
+    ProtocolConfig,
+    ScheduleBasedCoordination,
+    SingleSourceStreaming,
+    TCoP,
+    UnicastChainCoordination,
+)
+from repro.experiments.runner import run_session
+from repro.metrics.series import SweepSeries
+from repro.metrics.table import Table
+from repro.net.loss import GilbertElliottLoss
+from repro.streaming.faults import FaultPlan
+from repro.streaming.session import StreamingSession
+
+_ALL_PROTOCOLS = [
+    ("DCoP", DCoP, {}),
+    ("TCoP", TCoP, {}),
+    ("Broadcast", BroadcastCoordination, {}),
+    # the chain and single-source variants predate the parity machinery
+    ("UnicastChain", UnicastChainCoordination, {"fault_margin": 0}),
+    ("Centralized", CentralizedCoordination, {}),
+    ("ScheduleBased", ScheduleBasedCoordination, {}),
+    ("SingleSource", SingleSourceStreaming, {}),
+]
+
+
+def run_protocol_comparison(
+    n: int = 50,
+    H: int = 10,
+    content_packets: int = 300,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> Table:
+    """EX-A: one row per protocol."""
+    table = Table(
+        ["protocol", "rounds", "ctrl_at_sync", "ctrl_total", "receipt_rate",
+         "delivery"],
+        title=f"EX-A — protocol comparison (n={n}, H={H})",
+    )
+    for name, cls, overrides in _ALL_PROTOCOLS:
+        cfg = ProtocolConfig(
+            n=n,
+            H=H,
+            content_packets=content_packets,
+            delta=delta,
+            seed=seed,
+            fault_margin=overrides.get("fault_margin", 1),
+        )
+        result = run_session(cls, cfg)
+        table.add_row(
+            name,
+            result.rounds,
+            result.control_packets_at_sync,
+            result.control_packets_total,
+            round(result.receipt_rate, 3),
+            round(result.delivery_ratio, 3),
+        )
+    return table
+
+
+def run_fault_tolerance(
+    crash_counts: Optional[Sequence[int]] = None,
+    n: int = 30,
+    H: int = 10,
+    content_packets: int = 300,
+    delta: float = 10.0,
+    crash_at: float = 120.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-B: delivery ratio after crashing ``k`` transmitting peers.
+
+    The crash set is the initially selected peers (the ones guaranteed to
+    hold large subsequences), crashed mid-stream.  Compares DCoP with
+    parity (margin 1), DCoP without parity, and single-source streaming.
+    """
+    counts = list(crash_counts) if crash_counts is not None else [0, 1, 2, 3]
+    series = SweepSeries(
+        "crashed_peers",
+        ["dcop_parity", "dcop_noparity", "single_source"],
+        title=f"EX-B — delivery ratio under peer crashes (n={n}, H={H})",
+    )
+    for k in counts:
+        row = {}
+        for label, protocol_cls, margin in (
+            ("dcop_parity", DCoP, 1),
+            ("dcop_noparity", DCoP, 0),
+            ("single_source", SingleSourceStreaming, 0),
+        ):
+            cfg = ProtocolConfig(
+                n=n,
+                H=H,
+                fault_margin=margin,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            )
+            # crash the first k of the peers the leaf will select: probe a
+            # throwaway session with the same seed (the rng draw must use
+            # the same size the protocol will use, or the sample differs)
+            probe = StreamingSession(cfg, protocol_cls())
+            draw = 1 if protocol_cls is SingleSourceStreaming else H
+            selected = probe.leaf_select(draw)
+            session = StreamingSession(cfg, protocol_cls())
+            plan = FaultPlan()
+            for pid in selected[: min(k, draw)]:
+                plan.crash(pid, crash_at)
+            plan.install(session)
+            result = session.run()
+            row[label] = round(result.delivery_ratio, 4)
+        series.add(k, **row)
+    return series
+
+
+def run_loss_recovery(
+    loss_rates: Optional[Sequence[float]] = None,
+    n: int = 30,
+    H: int = 10,
+    content_packets: int = 400,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-C: bursty loss sweep — delivery with and without parity."""
+    rates = list(loss_rates) if loss_rates is not None else [0.0, 0.01, 0.02, 0.05, 0.1]
+    series = SweepSeries(
+        "loss_rate",
+        ["with_parity", "without_parity", "recovered_with_parity"],
+        title=f"EX-C — delivery under Gilbert–Elliott loss (n={n}, H={H})",
+    )
+    for p in rates:
+        row = {}
+        for label, margin in (("with_parity", 1), ("without_parity", 0)):
+            cfg = ProtocolConfig(
+                n=n,
+                H=H,
+                fault_margin=margin,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            )
+
+            def loss_factory(p=p):
+                if p == 0:
+                    from repro.net.loss import NoLoss
+
+                    return NoLoss()
+                # mean burst length 3 packets, stationary loss = p
+                p_bg = 1 / 3
+                p_gb = p * p_bg / max(1e-12, (1 - p))
+                return GilbertElliottLoss(p_gb=min(1.0, p_gb), p_bg=p_bg)
+
+            result = run_session(DCoP, cfg, loss_factory=loss_factory)
+            row[label] = round(result.delivery_ratio, 4)
+            if label == "with_parity":
+                row["recovered_with_parity"] = result.recovered_packets
+        series.add(p, **row)
+    return series
+
+
+def run_parity_sweep(
+    margins: Optional[Sequence[int]] = None,
+    n: int = 30,
+    H: int = 10,
+    content_packets: int = 400,
+    loss_rate: float = 0.05,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-D: fault margin sweep — overhead vs resilience.
+
+    Uses the schedule-based protocol (fixed H senders, one enhancement
+    level) so the receipt rate is exactly the §3.2 formula and the margin's
+    effect is isolated from flooding depth.
+    """
+    ms = list(margins) if margins is not None else [0, 1, 2, 3, 5]
+    series = SweepSeries(
+        "fault_margin",
+        ["receipt_rate", "delivery_lossless", "delivery_lossy"],
+        title=f"EX-D — parity margin trade-off (H={H}, loss={loss_rate})",
+    )
+    for m in ms:
+        cfg = ProtocolConfig(
+            n=n,
+            H=H,
+            fault_margin=m,
+            content_packets=content_packets,
+            delta=delta,
+            seed=seed,
+        )
+        clean = run_session(ScheduleBasedCoordination, cfg)
+
+        def loss_factory():
+            p_bg = 1 / 3
+            p_gb = loss_rate * p_bg / (1 - loss_rate)
+            return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
+
+        lossy = run_session(ScheduleBasedCoordination, cfg, loss_factory=loss_factory)
+        series.add(
+            m,
+            receipt_rate=round(clean.receipt_rate, 4),
+            delivery_lossless=round(clean.delivery_ratio, 4),
+            delivery_lossy=round(lossy.delivery_ratio, 4),
+        )
+    return series
+
+
+def run_heterogeneous(
+    spreads: Optional[Sequence[float]] = None,
+    n: int = 20,
+    H: int = 5,
+    content_packets: int = 600,
+    delta: float = 5.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-F: §2 time-slot allocation vs naive division over uneven peers.
+
+    ``spread`` parameterizes bandwidth inequality: peer ``i`` of the H
+    selected gets bandwidth ``1 + spread·i`` (spread 0 = homogeneous).
+    Reports completion time and out-of-order arrivals for both allocators.
+    """
+    from repro.core.heterogeneous import HeterogeneousScheduleCoordination
+
+    values = list(spreads) if spreads is not None else [0.0, 0.5, 1.0, 2.0, 4.0]
+    series = SweepSeries(
+        "bw_spread",
+        ["slots_completed_at", "naive_completed_at",
+         "slots_violations", "naive_violations"],
+        title=f"EX-F — heterogeneous allocation (n={n}, H={H})",
+    )
+    for spread in values:
+        bandwidths = [1.0 + spread * i for i in range(H)]
+        row = {}
+        for label, use_timeslots in (("slots", True), ("naive", False)):
+            cfg = ProtocolConfig(
+                n=n,
+                H=H,
+                fault_margin=0,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            )
+            proto = HeterogeneousScheduleCoordination(
+                bandwidths, use_timeslots=use_timeslots
+            )
+            session = StreamingSession(cfg, proto)
+            result = session.run()
+            row[f"{label}_completed_at"] = (
+                round(result.completed_at, 1) if result.completed_at else None
+            )
+            row[f"{label}_violations"] = session.leaf.order_violations
+        series.add(spread, **row)
+    return series
+
+
+def run_hetero_flooding(
+    spreads: Optional[Sequence[float]] = None,
+    n: int = 16,
+    H: int = 5,
+    content_packets: int = 400,
+    delta: float = 5.0,
+    seed: int = 4,
+) -> SweepSeries:
+    """EX-K: bandwidth-aware flooding (HeteroDCoP) vs equal-split DCoP.
+
+    Peers get an uplink-capacity ladder whose steepness is swept (spread 0
+    = homogeneous).  HeteroDCoP runs the identical coordination (same
+    rounds, same control packets) but divides every stream proportionally
+    to capacity, so completion stays on the content timeline instead of
+    being gated on the slowest member.
+    """
+    from repro.core.heterogeneous import HeteroDCoP
+
+    values = list(spreads) if spreads is not None else [0.0, 1.0, 3.0, 8.0]
+    series = SweepSeries(
+        "capacity_spread",
+        ["dcop_completed_at", "hetero_completed_at", "ctrl_equal"],
+        title=f"EX-K — weighted vs equal flooding divisions (n={n}, H={H})",
+    )
+    for spread in values:
+        base = 0.25
+        caps = {
+            f"CP{i}": base * (1 + spread * (i - 1) / (n - 1)) / (1 + spread / 2)
+            for i in range(1, n + 1)
+        }
+        cfg = ProtocolConfig(
+            n=n, H=H, fault_margin=1, content_packets=content_packets,
+            delta=delta, seed=seed,
+        )
+        d = StreamingSession(cfg, DCoP(), peer_capacities=caps).run()
+        h = StreamingSession(
+            cfg, HeteroDCoP(caps), peer_capacities=caps
+        ).run()
+        series.add(
+            spread,
+            dcop_completed_at=round(d.completed_at, 1) if d.completed_at else None,
+            hetero_completed_at=round(h.completed_at, 1) if h.completed_at else None,
+            ctrl_equal=(d.control_packets_total == h.control_packets_total),
+        )
+    return series
+
+
+def run_receipt_capacity(
+    rho_values: Optional[Sequence[float]] = None,
+    n: int = 20,
+    H: int = 8,
+    content_packets: int = 300,
+    delta: float = 5.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-J: §3.1's receipt-capacity argument, quantified.
+
+    The broadcast way makes every peer send the *whole* sequence, so the
+    leaf is offered ``n·τ`` during the initial phase; below that capacity
+    packets drop before decoding ("LP_s loses packets due to the buffer
+    overrun") and only the n-fold duplication saves the content — i.e.
+    most of ρ_s is burnt on duplicates.  DCoP's division keeps the offered
+    rate at ``≈τ(h+1)/h``, so a modest ρ_s suffices with zero drops.
+    ``efficiency`` = distinct data packets delivered ÷ packets the leaf
+    had to absorb (admitted + dropped).
+    """
+    rhos = list(rho_values) if rho_values is not None else [2.5, 5.0, 10.0, 25.0]
+    series = SweepSeries(
+        "rho_over_tau",
+        ["broadcast_delivery", "broadcast_dropped", "broadcast_efficiency",
+         "dcop_delivery", "dcop_dropped", "dcop_efficiency"],
+        title=f"EX-J — leaf receipt capacity ρ_s (n={n}, H={H})",
+    )
+    for rho in rhos:
+        row = {}
+        for label, cls in (("broadcast", BroadcastCoordination), ("dcop", DCoP)):
+            cfg = ProtocolConfig(
+                n=n, H=H, fault_margin=1, content_packets=content_packets,
+                delta=delta, seed=seed, tau=1.0,
+            )
+            session = StreamingSession(
+                cfg,
+                cls(),
+                leaf_receipt_rate=rho * cfg.tau,
+                leaf_receive_buffer=32.0,
+            )
+            result = session.run()
+            offered = (
+                session.leaf.decoder.received_count + result.receive_overruns
+            )
+            useful = len(session.leaf.decoder.data_seqs_held())
+            row[f"{label}_delivery"] = round(result.delivery_ratio, 4)
+            row[f"{label}_dropped"] = result.receive_overruns
+            row[f"{label}_efficiency"] = round(useful / max(1, offered), 3)
+        series.add(rho, **row)
+    return series
+
+
+def run_rate_adaptation(
+    degrade_factors: Optional[Sequence[float]] = None,
+    n: int = 12,
+    H: int = 4,
+    content_packets: int = 400,
+    delta: float = 5.0,
+    seed: int = 2,
+) -> SweepSeries:
+    """EX-I: §5's "peers may change the rate" — helper recruitment.
+
+    One of the H transmitting peers is degraded to ``factor`` of its rate
+    mid-stream; the adaptive monitor splits its remaining share with a
+    helper proportionally to their rates (weighted §2 allocation).
+    Reports completion time with and without adaptation.
+    """
+    from repro.streaming.adaptive import RateAdaptationPolicy
+
+    factors = (
+        list(degrade_factors)
+        if degrade_factors is not None
+        else [1.0, 0.5, 0.25, 0.1]
+    )
+    series = SweepSeries(
+        "degrade_factor",
+        ["plain_completed_at", "adaptive_completed_at", "adaptations"],
+        title=f"EX-I — rate adaptation under degradation (n={n}, H={H})",
+    )
+    for factor in factors:
+        cfg = ProtocolConfig(
+            n=n, H=H, fault_margin=0, content_packets=content_packets,
+            delta=delta, seed=seed,
+        )
+        probe = StreamingSession(cfg, ScheduleBasedCoordination())
+        victim = probe.leaf_select(H)[1]
+        row = {}
+        for label, policy in (
+            ("plain", None),
+            ("adaptive", RateAdaptationPolicy()),
+        ):
+            plan = FaultPlan()
+            if factor < 1.0:
+                plan.degrade(victim, at=content_packets / 8, factor=factor)
+            session = StreamingSession(
+                cfg,
+                ScheduleBasedCoordination(),
+                fault_plan=plan,
+                adaptation_policy=policy,
+            )
+            result = session.run()
+            row[f"{label}_completed_at"] = (
+                round(result.completed_at, 1) if result.completed_at else None
+            )
+            if label == "adaptive":
+                row["adaptations"] = session.adaptation_monitor.adaptations
+        series.add(factor, **row)
+    return series
+
+
+def run_multi_leaf(
+    leaf_counts: Optional[Sequence[int]] = None,
+    n: int = 30,
+    H: int = 8,
+    content_packets: int = 300,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-H: peer load when many leaf peers stream concurrently (§1's
+    scalability motivation).
+
+    In the paper's model each leaf's coordination is independent (channels
+    and subsequences are per leaf-peer pair), so ``k`` leaves are simulated
+    as ``k`` sessions over the same peer population and the *offered load*
+    per contents peer is aggregated across them.  A fixed single-source
+    server must ship the full content to every leaf (load ``k·l``); under
+    DCoP the same demand spreads over all ``n`` peers.
+    """
+    from collections import Counter
+
+    from repro.core.single_source import SingleSourceStreaming
+
+    ks = list(leaf_counts) if leaf_counts is not None else [1, 2, 5, 10]
+    series = SweepSeries(
+        "leaves",
+        ["single_max_load", "dcop_max_load", "dcop_mean_load",
+         "fair_share"],
+        title=f"EX-H — per-peer load with many leaf peers (n={n}, H={H})",
+    )
+    for k in ks:
+        loads: dict[str, Counter] = {"single": Counter(), "dcop": Counter()}
+        for leaf_idx in range(k):
+            for label, factory, margin in (
+                ("single", lambda: SingleSourceStreaming(server_id="CP1"), 0),
+                ("dcop", DCoP, 1),
+            ):
+                cfg = ProtocolConfig(
+                    n=n,
+                    H=H,
+                    fault_margin=margin,
+                    content_packets=content_packets,
+                    delta=delta,
+                    seed=seed + 101 * leaf_idx,
+                )
+                session = StreamingSession(cfg, factory())
+                session.run()
+                for pid, agent in session.peers.items():
+                    loads[label][pid] += sum(
+                        st.sent_count for st in agent.streams
+                    )
+        fair = k * content_packets / n
+        series.add(
+            k,
+            single_max_load=max(loads["single"].values(), default=0),
+            dcop_max_load=max(loads["dcop"].values(), default=0),
+            dcop_mean_load=round(
+                sum(loads["dcop"].values()) / n, 1
+            ),
+            fair_share=round(fair, 1),
+        )
+    return series
+
+
+def run_ams_overhead(
+    n_values: Optional[Sequence[int]] = None,
+    content_packets: int = 300,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-G: AMS state-exchange traffic vs DCoP's flooding (§1's argument).
+
+    The AMS model gossips ``n(n−1)`` state packets per period for the whole
+    stream; DCoP pays a one-shot flooding cost.  Both tolerate one crashed
+    peer (AMS via ring takeover, DCoP via parity) — the column pair shows
+    what that tolerance costs each of them in control traffic.
+    """
+    from repro.core.ams import AMSCoordination
+
+    ns = list(n_values) if n_values is not None else [6, 12, 24, 48]
+    series = SweepSeries(
+        "n",
+        ["ams_ctrl", "dcop_ctrl", "ams_delivery_crash", "dcop_delivery_crash"],
+        title="EX-G — AMS group communication vs DCoP flooding",
+    )
+    for n in ns:
+        H = max(2, n // 3)
+        ams_cfg = ProtocolConfig(
+            n=n, H=H, fault_margin=0, content_packets=content_packets,
+            delta=delta, seed=seed,
+        )
+        dcop_cfg = ProtocolConfig(
+            n=n, H=H, fault_margin=1, content_packets=content_packets,
+            delta=delta, seed=seed,
+        )
+        ams_clean = run_session(AMSCoordination, ams_cfg)
+        dcop_clean = run_session(DCoP, dcop_cfg)
+
+        victim = f"CP{1 + n // 2}"
+        crash_at = content_packets / 3
+        ams_crash = StreamingSession(
+            ams_cfg, AMSCoordination(),
+            fault_plan=FaultPlan().crash(victim, crash_at),
+        ).run()
+        dcop_crash = StreamingSession(
+            dcop_cfg, DCoP(),
+            fault_plan=FaultPlan().crash(victim, crash_at),
+        ).run()
+        series.add(
+            n,
+            ams_ctrl=ams_clean.control_packets_total,
+            dcop_ctrl=dcop_clean.control_packets_total,
+            ams_delivery_crash=round(ams_crash.delivery_ratio, 4),
+            dcop_delivery_crash=round(dcop_crash.delivery_ratio, 4),
+        )
+    return series
+
+
+def run_scaling(
+    n_values: Optional[Sequence[int]] = None,
+    h_fraction: float = 0.3,
+    content_packets: int = 200,
+    delta: float = 10.0,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-E: how sync time and traffic scale with the peer population."""
+    ns = list(n_values) if n_values is not None else [10, 20, 50, 100, 200]
+    series = SweepSeries(
+        "n",
+        ["dcop_rounds", "tcop_rounds", "centralized_rounds",
+         "dcop_ctrl", "tcop_ctrl"],
+        title=f"EX-E — scaling with n (H = {h_fraction:.0%} of n)",
+    )
+    for n in ns:
+        H = max(2, int(n * h_fraction))
+        row = {}
+        for label, cls in (
+            ("dcop", DCoP),
+            ("tcop", TCoP),
+            ("centralized", CentralizedCoordination),
+        ):
+            cfg = ProtocolConfig(
+                n=n,
+                H=H,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            )
+            result = run_session(cls, cfg)
+            row[f"{label}_rounds"] = result.rounds
+            if label != "centralized":
+                row[f"{label}_ctrl"] = result.control_packets_total
+        series.add(n, **row)
+    return series

@@ -1,0 +1,104 @@
+"""Command-line entry point: ``repro-experiments <experiment> [--quick]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import (
+    run_ams_overhead,
+    run_fault_tolerance,
+    run_hetero_flooding,
+    run_heterogeneous,
+    run_loss_recovery,
+    run_multi_leaf,
+    run_parity_sweep,
+    run_protocol_comparison,
+    run_rate_adaptation,
+    run_receipt_capacity,
+    run_scaling,
+)
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+
+_QUICK_HS = [2, 5, 10, 30, 60, 100]
+
+
+def _figures(args) -> list[tuple[str, object]]:
+    kw = {}
+    if args.quick:
+        kw = {"h_values": _QUICK_HS, "content_packets": 200}
+    out = []
+    if args.experiment in ("fig10", "all"):
+        out.append(("Figure 10", run_fig10(seed=args.seed, **kw)))
+    if args.experiment in ("fig11", "all"):
+        out.append(("Figure 11", run_fig11(seed=args.seed, **kw)))
+    if args.experiment in ("fig12", "all"):
+        out.append(("Figure 12", run_fig12(seed=args.seed, **kw)))
+    if args.experiment in ("ablations", "all"):
+        out.append(("EX-A", run_protocol_comparison(seed=args.seed)))
+        out.append(("EX-B", run_fault_tolerance(seed=args.seed)))
+        out.append(("EX-C", run_loss_recovery(seed=args.seed)))
+        out.append(("EX-D", run_parity_sweep(seed=args.seed)))
+        out.append(("EX-E", run_scaling(seed=args.seed)))
+        out.append(("EX-F", run_heterogeneous(seed=args.seed)))
+        out.append(("EX-G", run_ams_overhead(seed=args.seed)))
+        out.append(("EX-H", run_multi_leaf(seed=args.seed)))
+        out.append(("EX-I", run_rate_adaptation()))
+        out.append(("EX-J", run_receipt_capacity(seed=args.seed)))
+        out.append(("EX-K", run_hetero_flooding()))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of Itaya et al., "
+            "'Distributed Coordination Protocols to Realize Scalable "
+            "Multimedia Streaming in P2P Overlay Networks' (ICPP 2006)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig10", "fig11", "fig12", "ablations", "all"],
+        help="which figure/ablation to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="coarser H grid, shorter content"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of tables"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also save all artifacts as one JSON document",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    artifacts = {}
+    for name, artifact in _figures(args):
+        artifacts[name] = artifact
+        table = artifact if hasattr(artifact, "render") else None
+        if hasattr(artifact, "to_table"):
+            table = artifact.to_table()
+        print(f"== {name} ==")
+        print(table.to_csv() if args.csv else table.render())
+    if args.out:
+        from repro.metrics.io import save_artifacts
+
+        save_artifacts(artifacts, args.out)
+        print(
+            f"saved {len(artifacts)} artifacts to {args.out}", file=sys.stderr
+        )
+    print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

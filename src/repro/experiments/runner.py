@@ -1,0 +1,64 @@
+"""Generic session/sweep execution for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.base import CoordinationProtocol, ProtocolConfig
+from repro.metrics.stats import mean
+from repro.streaming.session import SessionResult, StreamingSession
+
+ProtocolFactory = Callable[[], CoordinationProtocol]
+
+
+def run_session(
+    protocol_factory: ProtocolFactory,
+    config: ProtocolConfig,
+    **session_kw,
+) -> SessionResult:
+    """Build and run one session to quiescence."""
+    session = StreamingSession(config, protocol_factory(), **session_kw)
+    return session.run()
+
+
+def sweep(
+    protocol_factory: ProtocolFactory,
+    configs: Iterable[ProtocolConfig],
+    repetitions: int = 1,
+    **session_kw,
+) -> List[List[SessionResult]]:
+    """Run every config ``repetitions`` times with derived seeds.
+
+    Returns one list of results per config, in order.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    out: List[List[SessionResult]] = []
+    for config in configs:
+        results = []
+        for rep in range(repetitions):
+            cfg = ProtocolConfig(
+                **{**config.__dict__, "seed": config.seed + 7919 * rep}
+            )
+            results.append(run_session(protocol_factory, cfg, **session_kw))
+        out.append(results)
+    return out
+
+
+def mean_metric(results: Sequence[SessionResult], field: str) -> float:
+    """Average one SessionResult attribute over replications.
+
+    ``None`` values (e.g. ``rounds`` of an unsynchronized run) are skipped;
+    all-None yields ``float('nan')``.
+    """
+    values = [getattr(r, field) for r in results]
+    values = [v for v in values if v is not None]
+    if not values:
+        return float("nan")
+    return mean([float(v) for v in values])
+
+
+def default_h_values(n: int = 100) -> list[int]:
+    """The H grid used for Figures 10-12 (2 ≤ H ≤ n, as in §4)."""
+    grid = [2, 3, 5, 8, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    return [h for h in grid if h <= n]

@@ -1,0 +1,188 @@
+"""Leaf-side parity decoding by XOR constraint propagation.
+
+Every parity packet is one linear constraint over the payloads it covers:
+``parity = ⊕ covered``.  When exactly one covered item is missing it can be
+recovered; recovered parity payloads can in turn unlock deeper constraints
+(nested labels from repeated enhancement).  The decoder runs this to a
+fixpoint incrementally as packets arrive, so recovery latency can be
+measured per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.media.packet import Label, Packet, parity_covers
+from repro.fec.xor import xor_recover
+
+
+class ParityDecoder:
+    """Tracks received packets of one content and recovers losses.
+
+    Works in two modes:
+
+    * **symbolic** (payloads absent): recovery is tracked at the label
+      level — a missing label is *recoverable* when some parity constraint
+      has it as its only missing member.
+    * **concrete** (payload bytes present): recovered payloads are actually
+      XOR-computed and exposed via :meth:`payload_of`.
+
+    Parameters
+    ----------
+    n_packets:
+        Number of data packets in the content, for completeness queries.
+    """
+
+    def __init__(self, n_packets: int) -> None:
+        if n_packets < 1:
+            raise ValueError("n_packets must be positive")
+        self.n_packets = n_packets
+        #: label -> payload (or None in symbolic mode) for every packet we
+        #: hold, whether received or recovered.
+        self._have: dict[Label, Optional[bytes]] = {}
+        #: data sequence numbers held (maintained incrementally — the leaf
+        #: queries this per arriving packet, so it must be O(1))
+        self._data_held: set[int] = set()
+        #: largest m such that data packets 1..m are all held (§2's
+        #: packet-allocation property makes this advance monotonically
+        #: with arrivals when the allocation is correct)
+        self._prefix = 0
+        #: labels recovered (never directly received)
+        self.recovered: set[Label] = set()
+        #: parity constraints not yet fully satisfied: label -> covers
+        self._constraints: dict[Label, tuple[Label, ...]] = {}
+        #: count of packets delivered to the decoder (incl. duplicates)
+        self.received_count = 0
+        self.duplicate_count = 0
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def add(self, packet: Packet) -> set[int]:
+        """Register an arriving packet and propagate recoveries.
+
+        Returns the set of data sequence numbers that became held as a
+        result (directly or through recovery) — empty for duplicates and
+        for parity that unlocked nothing.
+        """
+        self.received_count += 1
+        if packet.label in self._have:
+            self.duplicate_count += 1
+            # a packet recovered eagerly (XOR fired before the last segment
+            # member arrived) has now genuinely arrived: it no longer
+            # counts as a loss that parity had to repair
+            self.recovered.discard(packet.label)
+            # keep a concrete payload if we only had a symbolic entry
+            if self._have[packet.label] is None and packet.payload is not None:
+                self._have[packet.label] = packet.payload
+            return set()
+        self._have[packet.label] = packet.payload
+        newly: set[int] = set()
+        if isinstance(packet.label, int):
+            self._data_held.add(packet.label)
+            newly.add(packet.label)
+        self.recovered.discard(packet.label)
+        if packet.is_parity:
+            self._constraints[packet.label] = packet.covers
+        newly |= self._propagate()
+        self._advance_prefix()
+        return newly
+
+    def _advance_prefix(self) -> None:
+        while (self._prefix + 1) in self._data_held:
+            self._prefix += 1
+
+    @property
+    def contiguous_prefix(self) -> int:
+        """Largest ``m`` with data packets 1..m all held (0 if none)."""
+        return self._prefix
+
+    def _propagate(self) -> set[int]:
+        """Run XOR recovery to a fixpoint; returns newly-held data seqs."""
+        newly: set[int] = set()
+        progress = True
+        while progress:
+            progress = False
+            for parity_label, covers in list(self._constraints.items()):
+                missing = [c for c in covers if c not in self._have]
+                if not missing:
+                    del self._constraints[parity_label]
+                    continue
+                if len(missing) == 1:
+                    target = missing[0]
+                    parity_payload = self._have[parity_label]
+                    present = [self._have[c] for c in covers if c in self._have]
+                    if parity_payload is not None and all(
+                        p is not None for p in present
+                    ):
+                        payload: Optional[bytes] = xor_recover(
+                            parity_payload, present  # type: ignore[arg-type]
+                        )
+                    else:
+                        payload = None
+                    self._have[target] = payload
+                    self.recovered.add(target)
+                    if isinstance(target, int):
+                        self._data_held.add(target)
+                        newly.add(target)
+                    else:
+                        # a recovered parity label re-arms its constraint
+                        self._constraints.setdefault(
+                            target, parity_covers(target)
+                        )
+                    del self._constraints[parity_label]
+                    progress = True
+        return newly
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has(self, label: Label) -> bool:
+        """Do we hold this label (received or recovered)?"""
+        return label in self._have
+
+    def has_data(self, seq: int) -> bool:
+        """Do we hold data packet ``t_seq``?"""
+        return seq in self._have
+
+    def payload_of(self, label: Label) -> Optional[bytes]:
+        if label not in self._have:
+            raise KeyError(f"label {label!r} not held")
+        return self._have[label]
+
+    def data_seqs_held(self) -> set[int]:
+        """All data sequence numbers currently held (copy)."""
+        return set(self._data_held)
+
+    def missing_data_seqs(self) -> set[int]:
+        return set(range(1, self.n_packets + 1)) - self._data_held
+
+    @property
+    def complete(self) -> bool:
+        """True once every data packet of the content is held."""
+        return len(self._data_held) == self.n_packets
+
+    def delivery_ratio(self) -> float:
+        """Fraction of data packets held (received or recovered)."""
+        return len(self._data_held) / self.n_packets
+
+    def verify_against(self, content) -> bool:
+        """Check every held concrete data payload against the content.
+
+        Returns True when all held data payloads byte-match
+        ``content.payload(seq)``; symbolic entries are skipped.
+        """
+        for seq in self.data_seqs_held():
+            payload = self._have[seq]
+            if payload is None:
+                continue
+            if payload != content.payload(seq):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParityDecoder {len(self.data_seqs_held())}/{self.n_packets} data, "
+            f"{len(self.recovered)} recovered, "
+            f"{len(self._constraints)} open constraints>"
+        )

@@ -1,0 +1,31 @@
+"""``Div(pkt, H, i)``: round-robin division over ``H`` subsequences."""
+
+from __future__ import annotations
+
+from repro.media.sequence import PacketSequence
+
+
+def divide(seq: PacketSequence, n_parts: int, index: int) -> PacketSequence:
+    """Subsequence ``index`` (0-based) of the round-robin split of ``seq``.
+
+    The ``j``-th packet (0-based) goes to part ``j mod n_parts`` — the
+    paper's "``t`` is allocated to ``pkt_{s_i}`` where ``i = j mod H + 1``"
+    in 0-based form.
+    """
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    if not 0 <= index < n_parts:
+        raise ValueError(f"index {index} outside 0..{n_parts - 1}")
+    return PacketSequence(
+        p for j, p in enumerate(seq) if j % n_parts == index
+    )
+
+
+def divide_all(seq: PacketSequence, n_parts: int) -> list[PacketSequence]:
+    """All ``n_parts`` round-robin subsequences, a partition of ``seq``."""
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    buckets: list[list] = [[] for _ in range(n_parts)]
+    for j, p in enumerate(seq):
+        buckets[j % n_parts].append(p)
+    return [PacketSequence(b) for b in buckets]

@@ -1,0 +1,45 @@
+"""Byte-level XOR combining for parity packets."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def xor_payloads(payloads: Sequence[Optional[bytes]]) -> Optional[bytes]:
+    """XOR a group of equal-length payloads into one parity payload.
+
+    Returns ``None`` when any payload is ``None`` (symbolic mode: labels
+    only, no bytes).  All concrete payloads must share one length — packets
+    of a content are fixed-size by construction (§2: "a packet is a unit of
+    data transmission").
+    """
+    payloads = list(payloads)
+    if not payloads:
+        raise ValueError("cannot XOR an empty group")
+    if any(p is None for p in payloads):
+        return None
+    length = len(payloads[0])
+    if any(len(p) != length for p in payloads):  # type: ignore[arg-type]
+        raise ValueError("payloads must be equal length")
+    if length == 0:
+        return b""
+    acc = np.frombuffer(payloads[0], dtype=np.uint8).copy()
+    for p in payloads[1:]:
+        acc ^= np.frombuffer(p, dtype=np.uint8)  # type: ignore[arg-type]
+    return acc.tobytes()
+
+
+def xor_recover(parity: bytes, present: Iterable[bytes]) -> bytes:
+    """Recover the single missing payload of a segment.
+
+    ``parity = p_1 ⊕ … ⊕ p_h`` implies
+    ``missing = parity ⊕ (⊕ present)``.
+    """
+    acc = np.frombuffer(parity, dtype=np.uint8).copy()
+    for p in present:
+        if len(p) != len(parity):
+            raise ValueError("payloads must be equal length")
+        acc ^= np.frombuffer(p, dtype=np.uint8)
+    return acc.tobytes()

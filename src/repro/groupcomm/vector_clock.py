@@ -1,0 +1,92 @@
+"""Vector clocks over a fixed member list."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class VectorClock:
+    """A logical clock with one component per group member.
+
+    Components default to 0; instances are mutable (``tick`` / ``merge``)
+    but comparisons never mutate.  Ordering follows the standard
+    definition: ``a <= b`` iff every component of ``a`` is ≤ the matching
+    component of ``b``; ``a < b`` additionally requires strict inequality
+    somewhere.  Incomparable clocks are *concurrent*.
+    """
+
+    __slots__ = ("members", "_counts")
+
+    def __init__(
+        self,
+        members: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+    ) -> None:
+        self.members = frozenset(members)
+        if not self.members:
+            raise ValueError("vector clock needs at least one member")
+        self._counts: Dict[str, int] = {m: 0 for m in self.members}
+        if counts is not None:
+            for member, value in counts.items():
+                if member not in self.members:
+                    raise KeyError(f"unknown member {member!r}")
+                if value < 0:
+                    raise ValueError("clock components must be >= 0")
+                self._counts[member] = int(value)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, member: str) -> int:
+        if member not in self.members:
+            raise KeyError(f"unknown member {member!r}")
+        return self._counts[member]
+
+    def tick(self, member: str) -> "VectorClock":
+        """Increment ``member``'s component (a local event); returns self."""
+        if member not in self.members:
+            raise KeyError(f"unknown member {member!r}")
+        self._counts[member] += 1
+        return self
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise max with ``other`` (receive event); returns self."""
+        if other.members != self.members:
+            raise ValueError("cannot merge clocks over different groups")
+        for m in self.members:
+            if other._counts[m] > self._counts[m]:
+                self._counts[m] = other._counts[m]
+        return self
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.members, self._counts)
+
+    # ------------------------------------------------------------------
+    def __le__(self, other: "VectorClock") -> bool:
+        self._check(other)
+        return all(self._counts[m] <= other._counts[m] for m in self.members)
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.members == other.members and self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash((self.members, tuple(sorted(self._counts.items()))))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither happens-before the other."""
+        self._check(other)
+        return not (self <= other) and not (other <= self)
+
+    def _check(self, other: "VectorClock") -> None:
+        if not isinstance(other, VectorClock) or other.members != self.members:
+            raise ValueError("cannot compare clocks over different groups")
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{m}:{self._counts[m]}" for m in sorted(self.members))
+        return f"<VC {inner}>"

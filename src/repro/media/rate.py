@@ -1,0 +1,31 @@
+"""Rate conversions.
+
+Internally every rate is *packets per millisecond* (the simulation time unit
+is the millisecond).  These helpers convert to and from link-level Mbps for
+realistic example configurations (the paper quotes 30 Mbps video).
+"""
+
+from __future__ import annotations
+
+
+def mbps_to_packets_per_ms(mbps: float, packet_size: int) -> float:
+    """Convert a bit rate in Mbps to packets/ms for ``packet_size`` bytes.
+
+    1 Mbps = 10^6 bits/s = 10^3 bits/ms; a packet is ``packet_size * 8``
+    bits.
+    """
+    if mbps <= 0:
+        raise ValueError("rate must be positive")
+    if packet_size <= 0:
+        raise ValueError("packet_size must be positive")
+    bits_per_ms = mbps * 1e3
+    return bits_per_ms / (packet_size * 8)
+
+
+def packets_per_ms_to_mbps(rate: float, packet_size: int) -> float:
+    """Inverse of :func:`mbps_to_packets_per_ms`."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if packet_size <= 0:
+        raise ValueError("packet_size must be positive")
+    return rate * packet_size * 8 / 1e3

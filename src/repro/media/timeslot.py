@@ -1,0 +1,112 @@
+"""Time-slot packet allocation for heterogeneous channels (§2).
+
+Each channel ``CC_i`` is a sequence of time slots of length ``τ_i``
+(inversely proportional to the channel bandwidth ``bw_i``).  Packets
+``t_1, …, t_l`` are allocated one per slot by repeatedly choosing, among the
+*initial* slots (those no remaining slot strictly precedes, where
+``CL → CL'`` iff ``et(CL) < et(CL')``), the one with the latest start time.
+
+This ordering yields the paper's *packet allocation property*: when the leaf
+peer receives ``t_h``, every ``t_k`` with ``k < h`` was carried by a slot
+with an end time ≤ ``et(slot(t_h))``, so no reordering buffer is needed.
+
+The worked example of Figures 1–3 (three channels with bandwidth ratio
+4:2:1) is reproduced verbatim in the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TimeSlot:
+    """The ``k``-th transmission slot of channel ``channel`` (0-based k)."""
+
+    channel: int
+    k: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("slot must have positive length")
+
+
+def build_slots(
+    bandwidths: Sequence[float], horizon: float, base_period: float = 1.0
+) -> list[TimeSlot]:
+    """Materialize all slots up to time ``horizon``.
+
+    Channel ``i`` gets slot length ``τ_i = base_period / bw_i``; a channel
+    with twice the bandwidth has half-length slots, i.e. carries twice the
+    packets per unit time (Figure 2).
+    """
+    if not bandwidths:
+        raise ValueError("need at least one channel")
+    if any(bw <= 0 for bw in bandwidths):
+        raise ValueError("bandwidths must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    slots: list[TimeSlot] = []
+    for ch, bw in enumerate(bandwidths):
+        tau = base_period / bw
+        k = 0
+        while (k + 1) * tau <= horizon + 1e-12:
+            slots.append(TimeSlot(ch, k, k * tau, (k + 1) * tau))
+            k += 1
+    return slots
+
+
+def allocate_packets(
+    bandwidths: Sequence[float], n_packets: int, base_period: float = 1.0
+) -> list[int]:
+    """Allocate packets ``t_1..t_n`` to channels per the §2 algorithm.
+
+    Returns a list ``alloc`` where ``alloc[k]`` is the channel index that
+    carries packet ``t_{k+1}``.
+
+    Implementation note: the "initial slots" of the remaining slot set are
+    exactly the next unused slot of each channel among those with minimal
+    end time; we keep one frontier slot per channel in a heap keyed by
+    ``(end, -start)`` so each allocation is O(log #channels) instead of
+    rescanning all slots (the naive O(l·Σslots) version is kept in the tests
+    as an oracle).
+    """
+    if n_packets < 0:
+        raise ValueError("n_packets must be non-negative")
+    if not bandwidths or any(bw <= 0 for bw in bandwidths):
+        raise ValueError("bandwidths must be positive and non-empty")
+
+    taus = [base_period / bw for bw in bandwidths]
+    # Heap of (end, -start, channel, k): pop order = earliest end, then
+    # latest start — exactly "initial slot with maximal st".
+    frontier = [(tau, -0.0, ch, 0) for ch, tau in enumerate(taus)]
+    heapq.heapify(frontier)
+
+    alloc: list[int] = []
+    for _ in range(n_packets):
+        end, neg_start, ch, k = heapq.heappop(frontier)
+        alloc.append(ch)
+        # Slot boundaries are computed multiplicatively ((k+1)*tau), not by
+        # accumulation, so ties between channels resolve identically no
+        # matter how many slots have elapsed (floating-point associativity).
+        heapq.heappush(
+            frontier, ((k + 2) * taus[ch], -((k + 1) * taus[ch]), ch, k + 1)
+        )
+    return alloc
+
+
+def allocation_end_times(
+    bandwidths: Sequence[float], n_packets: int, base_period: float = 1.0
+) -> list[float]:
+    """End time of the slot carrying each packet (for property checks)."""
+    taus = [base_period / bw for bw in bandwidths]
+    counters = [0] * len(bandwidths)
+    ends: list[float] = []
+    for ch in allocate_packets(bandwidths, n_packets, base_period):
+        counters[ch] += 1
+        ends.append(counters[ch] * taus[ch])
+    return ends

@@ -1,0 +1,17 @@
+"""Result tabulation and summary statistics for the experiment harness."""
+
+from repro.metrics.table import Table
+from repro.metrics.series import SweepSeries
+from repro.metrics.stats import mean, mean_std, percentile, summarize
+from repro.metrics.io import load_artifacts, save_artifacts
+
+__all__ = [
+    "SweepSeries",
+    "Table",
+    "load_artifacts",
+    "mean",
+    "mean_std",
+    "percentile",
+    "save_artifacts",
+    "summarize",
+]

@@ -1,0 +1,40 @@
+"""P2P overlay network substrate.
+
+Models the paper's setting: every contents peer is connected to the leaf
+peer (and to other contents peers) over a *logical channel* of the
+underlying network.  A channel applies, in order:
+
+1. an optional serialization delay (``size_bytes / bandwidth``),
+2. a latency model (constant δ, uniform or normal jitter),
+3. a loss model (none, Bernoulli, or bursty Gilbert–Elliott).
+
+Messages that survive are appended to the destination node's mailbox (a
+:class:`repro.sim.Store`).  The :class:`Overlay` owns nodes and channels,
+creates channels lazily (full logical mesh) and keeps global traffic
+statistics that the experiment harness reads (control-packet counts per
+kind, per-channel deliveries and drops).
+"""
+
+from repro.net.message import Message
+from repro.net.latency import ConstantLatency, LatencyModel, NormalLatency, UniformLatency
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.channel import Channel, ChannelStats
+from repro.net.node import Node
+from repro.net.overlay import Overlay, TrafficStats
+
+__all__ = [
+    "BernoulliLoss",
+    "Channel",
+    "ChannelStats",
+    "ConstantLatency",
+    "GilbertElliottLoss",
+    "LatencyModel",
+    "LossModel",
+    "Message",
+    "NoLoss",
+    "Node",
+    "NormalLatency",
+    "Overlay",
+    "TrafficStats",
+    "UniformLatency",
+]

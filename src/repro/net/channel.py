@@ -1,0 +1,101 @@
+"""A logical point-to-point channel with bandwidth, latency and loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.engine import Environment
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel delivery accounting."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    latencies_sum: float = 0.0
+
+    @property
+    def loss_ratio(self) -> float:
+        return self.dropped / self.sent if self.sent else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latencies_sum / self.delivered if self.delivered else 0.0
+
+
+class Channel:
+    """Unidirectional channel ``src → dst``.
+
+    ``bandwidth_bytes_per_ms`` of ``None`` (default) means serialization is
+    negligible — the paper's "reliable high-speed communication like 10 Gbps
+    Ethernet".  Delivery order is FIFO for equal sampled latencies; jittered
+    latencies may reorder, as real UDP streams do.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        src: "Node",
+        dst: "Node",
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        bandwidth_bytes_per_ms: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if bandwidth_bytes_per_ms is not None and bandwidth_bytes_per_ms <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.loss = loss if loss is not None else NoLoss()
+        self.bandwidth = bandwidth_bytes_per_ms
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = ChannelStats()
+        #: next time the link is free to begin serializing (bandwidth mode)
+        self._link_free_at = 0.0
+
+    def send(self, message: Message) -> None:
+        """Fire-and-forget transmission (UDP-like, as in the paper)."""
+        now = self.env.now
+        message.sent_at = now
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+
+        if self.loss.drops(self.rng):
+            self.stats.dropped += 1
+            return
+
+        delay = self.latency.sample(self.rng)
+        if delay < 0:  # pragma: no cover - models enforce this already
+            raise ValueError("latency model produced a negative delay")
+
+        if self.bandwidth is not None:
+            start = max(now, self._link_free_at)
+            serialization = message.size_bytes / self.bandwidth
+            self._link_free_at = start + serialization
+            delay += (start - now) + serialization
+
+        def deliver():
+            yield self.env.timeout(delay)
+            message.delivered_at = self.env.now
+            self.stats.delivered += 1
+            self.stats.latencies_sum += message.delivered_at - message.sent_at
+            self.dst.deliver(message)
+
+        self.env.process(deliver())
+
+    def __repr__(self) -> str:
+        return f"<Channel {self.src.node_id}->{self.dst.node_id}>"

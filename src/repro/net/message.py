@@ -1,0 +1,39 @@
+"""Message envelope carried by overlay channels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Message:
+    """One unit of overlay traffic.
+
+    ``kind`` is a short string discriminator (``"request"``, ``"control"``,
+    ``"confirm"``, ``"start"``, ``"packet"``, …); the traffic statistics are
+    broken down by it.  ``body`` is an arbitrary payload object (a control
+    packet dataclass or a media packet).
+    """
+
+    src: str
+    dst: str
+    kind: str
+    body: Any = None
+    size_bytes: int = 64
+    #: stamped by the channel on send / delivery
+    sent_at: float = field(default=-1.0, compare=False)
+    delivered_at: float = field(default=-1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if not self.kind:
+            raise ValueError("kind must be non-empty")
+
+    @property
+    def latency(self) -> float:
+        """One-way delay experienced, valid after delivery."""
+        if self.delivered_at < 0 or self.sent_at < 0:
+            raise RuntimeError("message not delivered yet")
+        return self.delivered_at - self.sent_at

@@ -1,0 +1,60 @@
+"""Overlay node with a mailbox."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.message import Message
+from repro.sim.stores import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Node:
+    """A peer endpoint: identity + unbounded FIFO mailbox.
+
+    Agents either run a receive loop (``msg = yield node.receive()``) or
+    register a synchronous ``on_deliver`` hook for event-driven handling —
+    the coordination protocols use the hook so a control packet is processed
+    the instant it arrives without a scheduling hop.
+
+    A node can be marked *down* (crash fault): deliveries to a down node are
+    counted and discarded, and sends from it are suppressed by the agents.
+    """
+
+    def __init__(self, env: "Environment", node_id: str) -> None:
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        self.env = env
+        self.node_id = node_id
+        self.mailbox: Store = Store(env)
+        self.on_deliver: Optional[Callable[[Message], None]] = None
+        self.down = False
+        self.dropped_while_down = 0
+
+    def deliver(self, message: Message) -> None:
+        """Called by a channel when a message arrives."""
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+        else:
+            self.mailbox.put(message)
+
+    def receive(self):
+        """Event yielding the next mailbox message (mailbox mode only)."""
+        return self.mailbox.get()
+
+    def crash(self) -> None:
+        """Mark the node failed: it neither receives nor (by convention)
+        sends from now on."""
+        self.down = True
+
+    def recover(self) -> None:
+        self.down = False
+
+    def __repr__(self) -> str:
+        state = "down" if self.down else "up"
+        return f"<Node {self.node_id} {state}>"

@@ -1,0 +1,164 @@
+"""The overlay: nodes, lazily created channels, and traffic statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.net.channel import Channel
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass
+class TrafficStats:
+    """Global overlay traffic, broken down by message kind."""
+
+    sent_by_kind: Counter = field(default_factory=Counter)
+    delivered_by_kind: Counter = field(default_factory=Counter)
+    dropped_by_kind: Counter = field(default_factory=Counter)
+    #: (kind, time) log of sends for round analysis; cheap append-only list
+    send_log: list = field(default_factory=list)
+
+    def sent(self, kind: str) -> int:
+        return self.sent_by_kind[kind]
+
+    def total_sent(self) -> int:
+        return sum(self.sent_by_kind.values())
+
+    def control_packets(self, kinds: Tuple[str, ...] = ("request", "control", "confirm", "reject", "start")) -> int:
+        """Total coordination traffic (everything that is not media)."""
+        return sum(self.sent_by_kind[k] for k in kinds)
+
+
+class Overlay:
+    """Full logical mesh of peers.
+
+    Channel parameters may be customized per (src, dst) pair via
+    ``channel_factory``; by default every channel shares the overlay's
+    ``default_latency`` / ``default_loss`` with an independent RNG stream
+    per directed pair.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        streams: Optional[RandomStreams] = None,
+        default_latency: Optional[LatencyModel] = None,
+        default_loss_factory: Optional[Callable[[], LossModel]] = None,
+        bandwidth_bytes_per_ms: Optional[float] = None,
+        latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
+    ) -> None:
+        self.env = env
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self.default_latency = (
+            default_latency if default_latency is not None else ConstantLatency(1.0)
+        )
+        #: when given, called once per (src, dst) pair at channel creation —
+        #: lets sessions model heterogeneous per-link delays
+        self.latency_factory = latency_factory
+        self.default_loss_factory = default_loss_factory or NoLoss
+        self.bandwidth = bandwidth_bytes_per_ms
+        self.nodes: Dict[str, Node] = {}
+        self.channels: Dict[Tuple[str, str], Channel] = {}
+        self.traffic = TrafficStats()
+        #: optional per-pair overrides installed with configure_channel()
+        self._overrides: Dict[Tuple[str, str], dict] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str) -> Node:
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        node = Node(self.env, node_id)
+        self.nodes[node_id] = node
+        return node
+
+    def node(self, node_id: str) -> Node:
+        return self.nodes[node_id]
+
+    def configure_channel(
+        self,
+        src: str,
+        dst: str,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        bandwidth_bytes_per_ms: Optional[float] = None,
+    ) -> None:
+        """Install per-pair channel parameters (before first use)."""
+        if (src, dst) in self.channels:
+            raise RuntimeError(f"channel {src}->{dst} already materialized")
+        self._overrides[(src, dst)] = {
+            "latency": latency,
+            "loss": loss,
+            "bandwidth": bandwidth_bytes_per_ms,
+        }
+
+    def channel(self, src: str, dst: str) -> Channel:
+        """The (lazily created) channel ``src → dst``."""
+        key = (src, dst)
+        ch = self.channels.get(key)
+        if ch is None:
+            if src not in self.nodes or dst not in self.nodes:
+                raise KeyError(f"unknown endpoint in {src}->{dst}")
+            override = self._overrides.get(key, {})
+            default_latency = (
+                self.latency_factory(src, dst)
+                if self.latency_factory is not None
+                else self.default_latency
+            )
+            ch = Channel(
+                self.env,
+                self.nodes[src],
+                self.nodes[dst],
+                latency=override.get("latency") or default_latency,
+                loss=override.get("loss") or self.default_loss_factory(),
+                bandwidth_bytes_per_ms=override.get("bandwidth") or self.bandwidth,
+                rng=self.streams.get(f"channel/{src}->{dst}"),
+            )
+            self.channels[key] = ch
+        return ch
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        body=None,
+        size_bytes: int = 64,
+    ) -> Message:
+        """Send one message and account for it globally."""
+        if self.nodes[src].down:
+            # A crashed peer sends nothing; account as a suppressed send.
+            self.traffic.dropped_by_kind[kind] += 1
+            msg = Message(src=src, dst=dst, kind=kind, body=body, size_bytes=size_bytes)
+            return msg
+        msg = Message(src=src, dst=dst, kind=kind, body=body, size_bytes=size_bytes)
+        self.traffic.sent_by_kind[kind] += 1
+        self.traffic.send_log.append((kind, self.env.now, src, dst))
+        ch = self.channel(src, dst)
+        before_drop = ch.stats.dropped
+        ch.send(msg)
+        if ch.stats.dropped > before_drop:
+            self.traffic.dropped_by_kind[kind] += 1
+        else:
+            self.traffic.delivered_by_kind[kind] += 1
+        return msg
+
+    def __repr__(self) -> str:
+        return (
+            f"<Overlay {len(self.nodes)} nodes, "
+            f"{len(self.channels)} channels, "
+            f"{self.traffic.total_sent()} msgs>"
+        )

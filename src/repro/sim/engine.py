@@ -1,0 +1,157 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event.ok:
+            raise cls(event.value)
+        event.defused()
+        raise event.value
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Time starts at ``initial_time`` and only advances through event
+    processing; the unit is whatever the model chooses (this reproduction
+    uses milliseconds throughout).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling / execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when the queue is empty, and re-raises
+        any *un-defused* event failure (a process crash nobody waited on) so
+        model bugs surface instead of silently vanishing.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run to that
+        simulated time), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        at_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            at_event = until
+            if at_event.callbacks is None:
+                # Already processed.
+                if at_event.ok:
+                    return at_event.value
+                raise at_event.value
+            at_event.callbacks.append(StopSimulation.callback)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} lies in the past (now={self._now})"
+                )
+            at_event = Event(self)
+            at_event._ok = True
+            at_event._value = None
+            # Priority below NORMAL-scheduled events at the same time would
+            # process them first; we want the horizon to win, so use a
+            # priority that sorts ahead of everything at `horizon`.
+            heapq.heappush(self._queue, (horizon, -1, next(self._eid), at_event))
+            at_event.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if at_event is not None and not at_event.triggered:
+                if isinstance(until, Event):
+                    raise RuntimeError(
+                        "simulation ran out of events before "
+                        f"{until!r} was triggered"
+                    ) from None
+            return None

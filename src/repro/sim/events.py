@@ -1,0 +1,256 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot waitable: it starts *pending*, is *triggered*
+exactly once (either successfully with a value or failed with an exception),
+gets scheduled on the environment's heap, and is finally *processed* when the
+environment pops it and runs its callbacks.  Processes (see
+:mod:`repro.sim.process`) register themselves as callbacks on the events they
+yield.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Environment
+
+#: Sentinel for "event has not been triggered yet".
+PENDING = object()
+
+#: Scheduling priority for urgent events (processed before normal ones at
+#: the same simulated time).  Used by interrupts so they beat ordinary
+#: resumptions scheduled for the same instant.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment that will schedule and process this event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set to True when a failure has been handled (yielded or deferred
+        #: explicitly); unhandled failures crash the simulation at
+        #: processing time so programming errors are never silently lost.
+        self._defused: bool = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (or the failure exception)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def defused(self) -> None:
+        """Mark a failed event as handled, suppressing the crash-on-process."""
+        self._defused = True
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state (ok/value) of ``event``."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defused()
+            self.fail(event.value)
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("processed" if self.processed else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # Conditions ------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of simulated time from now."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of triggered events to their values.
+
+    Returned when a :class:`Condition` (``AnyOf``/``AllOf``) fires.  Keys are
+    the original events in their construction order; only events that have
+    triggered by the time the condition fired are present.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of sub-events.
+
+    ``evaluate`` receives the list of sub-events and the count of processed
+    ones and returns True when the condition is satisfied.  The condition
+    value is a :class:`ConditionValue` of all sub-events triggered so far.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if self._evaluate(self._events, 0):
+            # Vacuously true (e.g. AllOf([])).
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Timeouts are triggered at construction; only events whose
+            # callbacks have run (processed) count as having occurred.
+            if event.processed and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused()
+            return
+        self._count += 1
+        if not event.ok:
+            event.defused()
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that fires once every sub-event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda evts, count: count >= len(evts), events)
+
+
+class AnyOf(Condition):
+    """Condition that fires as soon as any sub-event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        super().__init__(env, lambda evts, count: count >= 1, events)

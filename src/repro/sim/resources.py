@@ -1,0 +1,176 @@
+"""Capacity-limited resources with FIFO queueing.
+
+Used to model contention: e.g. a peer's uplink that can serve only a bounded
+number of concurrent transmissions.  Requests are events; ``with`` support
+makes release automatic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Preempted(Exception):
+    """Cause object delivered to a process bumped off a resource."""
+
+    def __init__(self, by: object, usage_since: float) -> None:
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        #: the process that issued the request (for preemption delivery)
+        self.process = resource.env.active_process
+        #: when the slot was granted (for Preempted.usage_since)
+        self.usage_since: Optional[float] = None
+        resource._queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if not self.triggered:
+            self.resource._queue.remove(self)
+
+
+class Release(Event):
+    """Immediate event confirming a slot was handed back."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.request = request
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` interchangeable slots granted in FIFO order."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self._queue: list[Request] = []
+        self.users: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue(self) -> list[Request]:
+        """Requests not yet granted (FIFO order)."""
+        return [r for r in self._queue if not r.triggered]
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Hand a granted slot back, waking the next queued request."""
+        return Release(self, request)
+
+    def _do_release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an ungranted request == cancelling it.
+            request.cancel()
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self._capacity:
+            req = self._queue.pop(0)
+            self.users.append(req)
+            req.usage_since = self.env.now
+            req.succeed()
+
+
+class PriorityRequest(Request):
+    """A claim with a priority (lower value = more urgent) and an optional
+    preemption flag (only meaningful on :class:`PreemptiveResource`)."""
+
+    def __init__(
+        self, resource: "Resource", priority: float = 0.0, preempt: bool = True
+    ) -> None:
+        self.priority = priority
+        self.preempt = preempt
+        self.submitted_at = resource.env.now
+        super().__init__(resource)
+
+    @property
+    def key(self) -> tuple:
+        # earlier priority wins; FIFO within a priority class
+        return (self.priority, self.submitted_at)
+
+
+class PriorityResource(Resource):
+    """A resource whose waiting queue is ordered by request priority."""
+
+    def request(self, priority: float = 0.0, preempt: bool = True) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority, preempt)
+
+    def _trigger(self) -> None:
+        self._queue.sort(key=lambda r: getattr(r, "key", (0.0, 0.0)))
+        super()._trigger()
+
+
+class PreemptiveResource(PriorityResource):
+    """Priority resource where urgent requests bump less urgent users.
+
+    When the resource is full and a request with ``preempt=True`` has a
+    strictly more urgent priority than the least urgent current user, that
+    user's process is interrupted with a :class:`Preempted` cause, its
+    slot is revoked, and the urgent request is granted.
+    """
+
+    def _trigger(self) -> None:
+        self._queue.sort(key=lambda r: getattr(r, "key", (0.0, 0.0)))
+        while self._queue:
+            if len(self.users) < self._capacity:
+                req = self._queue.pop(0)
+                self.users.append(req)
+                req.usage_since = self.env.now
+                req.succeed()
+                continue
+            head = self._queue[0]
+            if not getattr(head, "preempt", False):
+                break
+            victim = max(
+                self.users,
+                key=lambda r: getattr(r, "key", (0.0, 0.0)),
+            )
+            if getattr(head, "key", (0.0, 0.0)) >= getattr(
+                victim, "key", (0.0, 0.0)
+            ):
+                break  # nobody less urgent to bump
+            self.users.remove(victim)
+            if victim.process is not None and victim.process.is_alive:
+                victim.process.interrupt(
+                    Preempted(
+                        by=head.process, usage_since=victim.usage_since or 0.0
+                    )
+                )
+            # loop: the freed slot is granted to `head` next iteration

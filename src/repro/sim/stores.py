@@ -1,0 +1,165 @@
+"""FIFO / priority / filtered stores — the mailbox primitive.
+
+A :class:`Store` holds items; ``put`` and ``get`` return events that trigger
+when the operation completes.  Peer mailboxes in :mod:`repro.net` are
+unbounded stores: sends never block, receives suspend until a message
+arrives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds once the item is stored."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger_put()
+        store._trigger_get()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the retrieved item."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger_get()
+
+    def cancel(self) -> None:
+        """Withdraw a still-pending get request (e.g. on timeout races)."""
+        if not self.triggered:
+            try:
+                self.resource._get_queue.remove(self)  # type: ignore[attr-defined]
+            except (AttributeError, ValueError):
+                pass
+
+
+class Store:
+    """An unbounded-by-default FIFO container of arbitrary items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Store ``item``; the returned event triggers once space exists."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve one item; the returned event triggers once one exists."""
+        event = StoreGet(self)
+        event.resource = self  # type: ignore[attr-defined]
+        return event
+
+    # ------------------------------------------------------------------
+    # internal matching
+    # ------------------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger_put(self) -> None:
+        idx = 0
+        while idx < len(self._put_queue):
+            event = self._put_queue[idx]
+            if self._do_put(event):
+                self._put_queue.pop(idx)
+            else:
+                idx += 1
+
+    def _trigger_get(self) -> None:
+        idx = 0
+        while idx < len(self._get_queue):
+            event = self._get_queue[idx]
+            if self._do_get(event):
+                self._get_queue.pop(idx)
+                # A successful get may free capacity for a waiting put.
+                self._trigger_put()
+            else:
+                idx += 1
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """Wrapper giving any payload an explicit priority (lower = sooner)."""
+
+    priority: float
+    item: Any = field(compare=False)
+
+
+class PriorityStore(Store):
+    """A store that releases the smallest item first (heap-ordered)."""
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            heapq.heappush(self.items, event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            return True
+        return False
+
+
+class FilterStoreGet(StoreGet):
+    """Get event that only matches items satisfying a predicate."""
+
+    def __init__(
+        self, store: "FilterStore", filter: Callable[[Any], bool]
+    ) -> None:
+        self.filter = filter
+        super().__init__(store)
+
+
+class FilterStore(Store):
+    """A store whose consumers may select items with a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
+        event = FilterStoreGet(self, filter)
+        event.resource = self  # type: ignore[attr-defined]
+        return event
+
+    def _do_get(self, event: StoreGet) -> bool:
+        assert isinstance(event, FilterStoreGet)
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False

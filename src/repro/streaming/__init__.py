@@ -1,0 +1,48 @@
+"""Streaming engine: transmitting peers, the receiving leaf, sessions.
+
+* :class:`Stream` — one transmission plan (phased packet list + rate) on a
+  contents peer; splits for child handoffs happen here.
+* :class:`ContentsPeerAgent` — a contents peer: mailbox handling delegated
+  to the coordination protocol, transmit loops per stream.
+* :class:`LeafPeerAgent` — the requesting leaf: receives media packets into
+  a :class:`~repro.fec.ParityDecoder`, tracks arrival statistics, and can
+  play the content back through a :class:`PlaybackBuffer`.
+* :class:`StreamingSession` — builds the whole simulated system from a
+  :class:`~repro.core.ProtocolConfig` and runs it to produce a
+  :class:`SessionResult`.
+* :mod:`repro.streaming.faults` — crash / rate-degradation injection.
+"""
+
+from repro.streaming.stream import Phase, Stream, HandoffPlan
+from repro.streaming.buffer import BufferEvent, PlaybackBuffer
+from repro.streaming.contents_peer import ContentsPeerAgent
+from repro.streaming.leaf_peer import LeafPeerAgent
+from repro.streaming.session import SessionResult, StreamingSession
+from repro.streaming.faults import CrashFault, DegradeFault, FaultPlan
+from repro.streaming.repair import RepairMonitor, RepairPolicy, RepairRequest
+from repro.streaming.adaptive import (
+    AdaptRequest,
+    RateAdaptationMonitor,
+    RateAdaptationPolicy,
+)
+
+__all__ = [
+    "AdaptRequest",
+    "BufferEvent",
+    "RateAdaptationMonitor",
+    "RateAdaptationPolicy",
+    "ContentsPeerAgent",
+    "CrashFault",
+    "DegradeFault",
+    "FaultPlan",
+    "HandoffPlan",
+    "LeafPeerAgent",
+    "Phase",
+    "PlaybackBuffer",
+    "RepairMonitor",
+    "RepairPolicy",
+    "RepairRequest",
+    "SessionResult",
+    "Stream",
+    "StreamingSession",
+]

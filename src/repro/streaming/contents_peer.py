@@ -1,0 +1,202 @@
+"""A contents peer: protocol-driven coordination + transmit loops."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.base import Assignment
+from repro.net.message import Message
+from repro.streaming.stream import Stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+class ContentsPeerAgent:
+    """One contents peer ``CP_i``.
+
+    All coordination behaviour is delegated to the session's protocol
+    strategy; this class owns the mechanics every protocol shares:
+
+    * the *view* ``VW_i`` (peers known to be active/selected);
+    * activation bookkeeping;
+    * one transmit loop per :class:`Stream`, pacing packets to the leaf at
+      the stream's current rate;
+    * random child selection from ``CP − VW_i − {self}``.
+    """
+
+    def __init__(self, session: "StreamingSession", peer_id: str) -> None:
+        self.session = session
+        self.peer_id = peer_id
+        self.node = session.overlay.add_node(peer_id)
+        self.node.on_deliver = self._on_deliver
+        self.view: set[str] = {peer_id}
+        self.streams: list[Stream] = []
+        self.activated_at: Optional[float] = None
+        #: coordination round (hop count) at which this peer activated
+        self.activation_hops: Optional[int] = None
+        #: TCoP: id of the parent this peer has committed to (or "leaf")
+        self.parent: Optional[str] = None
+        #: protocol-private scratch space
+        self.scratch: dict = {}
+        self.rng = session.streams.get(f"select/{peer_id}")
+        self._phase_rng = session.streams.get(f"phase/{peer_id}")
+        #: uplink capacity in packets/ms; None = unlimited (§5 hetero env)
+        self.capacity = session.peer_capacities.get(peer_id)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def env(self):
+        return self.session.env
+
+    @property
+    def active(self) -> bool:
+        return self.activated_at is not None
+
+    @property
+    def crashed(self) -> bool:
+        return self.node.down
+
+    def _on_deliver(self, message: Message) -> None:
+        if self.node.down:  # defensive; Node already filters
+            return  # pragma: no cover
+        if message.kind == "repair":
+            # repair is protocol-agnostic (see repro.streaming.repair)
+            from repro.streaming.repair import serve_repair
+
+            serve_repair(self, message.body)
+            return
+        if message.kind == "adapt":
+            from repro.streaming.adaptive import serve_adapt
+
+            serve_adapt(self, message.body)
+            return
+        self.session.protocol.handle_peer_message(self, message)
+
+    def merge_view(self, other: Sequence[str]) -> None:
+        self.view.update(other)
+
+    @property
+    def view_full(self) -> bool:
+        return len(self.view) >= self.session.config.n
+
+    # ------------------------------------------------------------------
+    # selection (the paper's Select / Aselect)
+    # ------------------------------------------------------------------
+    def select_children(self, m: int) -> list[str]:
+        """Up to ``m`` random peers from ``CP − VW_i`` (deterministic rng).
+
+        Returns fewer than ``m`` (possibly none) when the view already
+        covers most peers — the paper's "|Select(…)| ≤ m".
+        """
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        candidates = sorted(set(self.session.peer_ids) - self.view)
+        if not candidates or m == 0:
+            return []
+        k = min(m, len(candidates))
+        picked = self.rng.choice(len(candidates), size=k, replace=False)
+        return [candidates[i] for i in sorted(picked)]
+
+    # ------------------------------------------------------------------
+    # activation / transmission
+    # ------------------------------------------------------------------
+    def activate_with(self, assignment: Assignment, hops: int = 1) -> Stream:
+        """Create (and start transmitting) a stream from an assignment.
+
+        ``hops`` is the coordination round at which the triggering message
+        arrived; recorded only for the first activation.
+        """
+        if self.activated_at is None:
+            self.activated_at = self.env.now
+            self.activation_hops = hops
+            self.session.record_activation(self.peer_id, self.env.now, hops)
+        stream = Stream.from_assignment(assignment)
+        self.add_stream(stream)
+        return stream
+
+    def add_stream(self, stream: Stream) -> None:
+        self.streams.append(stream)
+        if not stream.exhausted:
+            self.env.process(self._transmit_loop(stream))
+
+    def _transmit_loop(self, stream: Stream):
+        """Pace packets of one stream to the leaf.
+
+        The rate is re-read every iteration so handoffs (which mutate the
+        stream's phases) take effect at the next packet boundary — the
+        packet-granular switch the Mark rule prescribes.
+        """
+        cfg = self.session.config
+        leaf_id = self.session.leaf.peer_id
+        first = True
+        while not stream.exhausted:
+            rate = self._effective_rate(stream)
+            period = 1.0 / rate
+            if first:
+                # random phase offset: streams created at the same instant
+                # (e.g. a whole flooding wave) must not tick in lock-step,
+                # or their packets arrive at the leaf as synchronized
+                # bursts no real sender population would produce
+                period *= float(self._phase_rng.random())
+                first = False
+            yield self.env.timeout(period)
+            if self.node.down:
+                return
+            pkt = stream.pop_next()
+            if pkt is None:
+                return
+            self.session.overlay.send(
+                self.peer_id,
+                leaf_id,
+                "packet",
+                body=pkt,
+                size_bytes=cfg.packet_size,
+            )
+
+    def _effective_rate(self, stream: Stream) -> float:
+        """Assigned rate, throttled by the peer's uplink capacity.
+
+        When the aggregate of all live streams exceeds the capacity, each
+        stream is scaled proportionally — a congested uplink slows every
+        flow it carries.
+        """
+        rate = stream.current_rate
+        if self.capacity is None:
+            return rate
+        total = sum(
+            st.current_rate for st in self.streams if not st.exhausted
+        )
+        if total <= self.capacity:
+            return rate
+        return rate * self.capacity / total
+
+    def handoff_stream(self, stream: Stream, children: Sequence[str]):
+        """Split ``stream`` for ``children``; returns the HandoffPlan or
+        None when nothing remains to split."""
+        if not children:
+            return None
+        cfg = self.session.config
+        return stream.handoff(
+            n_children=len(children),
+            fault_margin=cfg.fault_margin,
+            delta=cfg.delta,
+        )
+
+    # ------------------------------------------------------------------
+    # outbound control traffic
+    # ------------------------------------------------------------------
+    def send_control(self, dst: str, kind: str, body) -> None:
+        self.session.overlay.send(
+            self.peer_id, dst, kind, body=body,
+            size_bytes=self.session.config.control_size,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ContentsPeer {self.peer_id} "
+            f"{'active' if self.active else 'dormant'} "
+            f"streams={len(self.streams)} |view|={len(self.view)}>"
+        )

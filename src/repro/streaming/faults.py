@@ -1,0 +1,82 @@
+"""Fault injection: peer crashes and rate degradation.
+
+§1 motivates the MSS model with "even if some peer stops by fault and is
+degraded in performance … a requesting leaf peer receives every data of a
+content".  A :class:`FaultPlan` schedules :class:`CrashFault` /
+:class:`DegradeFault` instances against a running session so that claim can
+be tested and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Peer ``peer_id`` fail-stops at ``at`` (ms)."""
+
+    peer_id: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+
+
+@dataclass(frozen=True)
+class DegradeFault:
+    """Peer ``peer_id``'s transmission rate is multiplied by ``factor``
+    (< 1 slows it down) at ``at`` (ms) — QoS degradation, not failure."""
+
+    peer_id: str
+    at: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+@dataclass
+class FaultPlan:
+    """A set of faults applied to one session."""
+
+    crashes: List[CrashFault] = field(default_factory=list)
+    degradations: List[DegradeFault] = field(default_factory=list)
+
+    def crash(self, peer_id: str, at: float) -> "FaultPlan":
+        self.crashes.append(CrashFault(peer_id, at))
+        return self
+
+    def degrade(self, peer_id: str, at: float, factor: float) -> "FaultPlan":
+        self.degradations.append(DegradeFault(peer_id, at, factor))
+        return self
+
+    def install(self, session: "StreamingSession") -> None:
+        """Schedule every fault as a simulation process."""
+        for fault in self.crashes:
+            session.env.process(self._run_crash(session, fault))
+        for fault in self.degradations:
+            session.env.process(self._run_degrade(session, fault))
+
+    @staticmethod
+    def _run_crash(session: "StreamingSession", fault: CrashFault):
+        yield session.env.timeout(fault.at)
+        session.peers[fault.peer_id].node.crash()
+        session.faults_fired.append(fault)
+
+    @staticmethod
+    def _run_degrade(session: "StreamingSession", fault: DegradeFault):
+        yield session.env.timeout(fault.at)
+        agent = session.peers[fault.peer_id]
+        for stream in agent.streams:
+            if not stream.exhausted:
+                stream.scale_rate(fault.factor)
+        session.faults_fired.append(fault)

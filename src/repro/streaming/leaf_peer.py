@@ -1,0 +1,151 @@
+"""The leaf peer: packet sink, decoder, arrival stats, optional playback."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.fec import ParityDecoder
+from repro.net.message import Message
+from repro.streaming.buffer import PlaybackBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+class LeafPeerAgent:
+    """The requesting leaf peer ``LP_s``.
+
+    Media packets feed the :class:`ParityDecoder` (so losses are recovered
+    when parity allows) and, when playback is enabled, the
+    :class:`PlaybackBuffer`.  Coordination messages (TCoP confirms etc.)
+    are forwarded to the protocol strategy.
+    """
+
+    def __init__(
+        self,
+        session: "StreamingSession",
+        peer_id: str = "leaf",
+        buffer_capacity: float = float("inf"),
+        playback: bool = False,
+        playback_delay: Optional[float] = None,
+        max_receipt_rate: Optional[float] = None,
+        receive_buffer_packets: float = 64.0,
+    ) -> None:
+        self.session = session
+        self.peer_id = peer_id
+        self.node = session.overlay.add_node(peer_id)
+        self.node.on_deliver = self._on_deliver
+        n = session.config.content_packets
+        self.decoder = ParityDecoder(n)
+        self.buffer = PlaybackBuffer(n, capacity=buffer_capacity)
+        #: arrival times of every media packet (for rate measurement)
+        self.arrival_times: list[float] = []
+        #: data arrivals that jumped ahead of a gap — violations of §2's
+        #: packet-allocation property (0 under a correct allocation)
+        self.order_violations = 0
+        self.data_arrivals = 0
+        # §3.1's ρ_s: the leaf can absorb at most max_receipt_rate
+        # packets/ms; bursts beyond a receive_buffer_packets backlog are
+        # dropped before decoding (leaky bucket).  None = unbounded.
+        self._rho = max_receipt_rate
+        self._bucket_capacity = receive_buffer_packets
+        self._bucket_level = 0.0
+        self._bucket_updated = 0.0
+        #: packets lost to receive-buffer overrun (ρ_s exceeded)
+        self.receive_overruns = 0
+        self.first_arrival: Optional[float] = None
+        self.last_arrival: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._playback_enabled = playback
+        self._playback_delay = playback_delay
+        if playback:
+            session.env.process(self._playback_clock())
+
+    @property
+    def env(self):
+        return self.session.env
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, message: Message) -> None:
+        if message.kind != "packet":
+            self.session.protocol.handle_leaf_message(self.session, message)
+            return
+        now = self.env.now
+        if self._rho is not None and not self._admit(now):
+            self.receive_overruns += 1
+            return
+        pkt = message.body
+        self.arrival_times.append(now)
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now
+        self._feed_decoder(pkt, now)
+        if self.completed_at is None and self.decoder.complete:
+            self.completed_at = now
+
+    def _admit(self, now: float) -> bool:
+        """Leaky-bucket admission at rate ρ_s (§3.1's receipt capacity)."""
+        drained = (now - self._bucket_updated) * self._rho
+        self._bucket_level = max(0.0, self._bucket_level - drained)
+        self._bucket_updated = now
+        if self._bucket_level + 1.0 > self._bucket_capacity:
+            return False
+        self._bucket_level += 1.0
+        return True
+
+    def _feed_decoder(self, pkt, now: float) -> None:
+        if not pkt.is_parity:
+            self.data_arrivals += 1
+            if pkt.seq > self.decoder.contiguous_prefix + 1:
+                self.order_violations += 1
+        # every newly held data seq (received or parity-recovered) becomes
+        # available for playback
+        for seq in self.decoder.add(pkt):
+            self.buffer.offer(seq, now)
+
+    # ------------------------------------------------------------------
+    def _playback_clock(self):
+        cfg = self.session.config
+        period = 1.0 / cfg.tau
+        delay = (
+            self._playback_delay
+            if self._playback_delay is not None
+            else 2 * cfg.delta + period
+        )
+        yield self.env.timeout(delay)
+        misses = 0
+        while not self.buffer.finished:
+            played = self.buffer.play_next(self.env.now)
+            if played is None:
+                misses += 1
+                # after persistent stalls, skip to bound the run time
+                if misses > 3:
+                    self.buffer.skip()
+                    misses = 0
+            else:
+                misses = 0
+            yield self.env.timeout(period)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def receipt_rate(self) -> float:
+        """Packets received per data packet of the content — Fig. 12's
+        normalized receipt rate (1.0 = exactly the content rate)."""
+        return self.decoder.received_count / self.session.config.content_packets
+
+    def mean_arrival_rate(self) -> float:
+        """Observed packets/ms over the active reception window."""
+        if (
+            self.first_arrival is None
+            or self.last_arrival is None
+            or self.last_arrival <= self.first_arrival
+        ):
+            return 0.0
+        return (len(self.arrival_times) - 1) / (self.last_arrival - self.first_arrival)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LeafPeer {self.peer_id} received={self.decoder.received_count} "
+            f"held={len(self.decoder.data_seqs_held())}/{self.decoder.n_packets}>"
+        )

@@ -1,0 +1,147 @@
+"""Leaf-driven repair: re-request data that parity could not recover.
+
+The paper's protocols guarantee delivery while losses stay within the
+parity margin; beyond it (several peers crashing inside one recovery
+segment, a long outage, margin 0) the leaf would simply miss data.  This
+extension — in the spirit of the paper's reliability goal, though beyond
+its text — closes that hole:
+
+the leaf runs a :class:`RepairMonitor` that watches decoding progress;
+after ``stall_checks`` consecutive check periods without a newly held data
+packet (while incomplete), it samples ``fanout`` contents peers and sends
+each a *repair request* for a slice of the missing sequence numbers.
+Contents peers hold the content, so they serve the slice directly (at a
+configurable rate); crashed peers stay silent and the next stall triggers
+another round with a fresh sample, so any live peer eventually covers
+every gap.
+
+Repair is orthogonal to the coordination protocol: the requests use a
+dedicated ``"repair"`` message kind handled by the peer agent itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.media.packet import DataPacket
+from repro.media.sequence import PacketSequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Tuning knobs for the leaf's repair loop."""
+
+    #: how often the leaf checks progress, in δ units
+    check_period_deltas: float = 3.0
+    #: consecutive no-progress checks before a repair round fires
+    stall_checks: int = 2
+    #: peers sampled per repair round
+    fanout: int = 3
+    #: per-peer repair transmission rate, as a multiple of the content rate
+    rate_factor: float = 1.0
+    #: give up after this many repair rounds (0 = unlimited)
+    max_rounds: int = 50
+
+    def __post_init__(self) -> None:
+        if self.check_period_deltas <= 0:
+            raise ValueError("check period must be positive")
+        if self.stall_checks < 1:
+            raise ValueError("stall_checks must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.rate_factor <= 0:
+            raise ValueError("rate_factor must be positive")
+        if self.max_rounds < 0:
+            raise ValueError("max_rounds must be >= 0")
+
+
+@dataclass
+class RepairRequest:
+    """Body of a ``"repair"`` message: serve these data seqs at ``rate``."""
+
+    seqs: List[int]
+    rate: float
+
+
+class RepairMonitor:
+    """Leaf-side stall detector + repair round issuer."""
+
+    def __init__(self, session: "StreamingSession", policy: RepairPolicy) -> None:
+        self.session = session
+        self.policy = policy
+        self.rounds_issued = 0
+        self.gave_up = False
+        self._rng = session.streams.get("repair/leaf")
+        session.env.process(self._run())
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        session = self.session
+        env = session.env
+        decoder = session.leaf.decoder
+        period = self.policy.check_period_deltas * session.config.delta
+        last_held = -1
+        stalls = 0
+        while not decoder.complete:
+            yield env.timeout(period)
+            held = len(decoder.data_seqs_held())
+            if held == last_held:
+                stalls += 1
+            else:
+                stalls = 0
+                last_held = held
+            if stalls >= self.policy.stall_checks:
+                stalls = 0
+                if (
+                    self.policy.max_rounds
+                    and self.rounds_issued >= self.policy.max_rounds
+                ):
+                    self.gave_up = True
+                    return
+                self._issue_round()
+
+    def _issue_round(self) -> None:
+        session = self.session
+        missing = sorted(session.leaf.decoder.missing_data_seqs())
+        if not missing:
+            return
+        self.rounds_issued += 1
+        peers = session.peer_ids
+        k = min(self.policy.fanout, len(peers))
+        picked = self._rng.choice(len(peers), size=k, replace=False)
+        targets = [peers[i] for i in sorted(picked)]
+        rate = self.policy.rate_factor * session.config.tau / k
+        for i, pid in enumerate(targets):
+            slice_seqs = missing[i::k]
+            if not slice_seqs:
+                continue
+            session.overlay.send(
+                session.leaf.peer_id,
+                pid,
+                "repair",
+                body=RepairRequest(seqs=slice_seqs, rate=rate),
+                size_bytes=session.config.control_size,
+            )
+
+
+def serve_repair(agent, request: RepairRequest) -> None:
+    """Contents-peer side: transmit the requested slice from its copy.
+
+    Called by :class:`~repro.streaming.contents_peer.ContentsPeerAgent`
+    when a ``"repair"`` message arrives; crashed peers never get here
+    (their node discards deliveries).
+    """
+    from repro.streaming.stream import Stream
+
+    content = agent.session.content
+    packets = [
+        DataPacket(seq, content.payload(seq))
+        for seq in request.seqs
+        if 1 <= seq <= content.n_packets
+    ]
+    if packets:
+        agent.add_stream(Stream(PacketSequence(packets), request.rate))

@@ -1,0 +1,258 @@
+"""Streaming session: builds the simulated system and collects results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
+    from repro.streaming.repair import RepairMonitor, RepairPolicy
+
+from repro.core.base import CoordinationProtocol, ProtocolConfig
+from repro.media.content import MediaContent
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.loss import LossModel
+from repro.net.overlay import Overlay
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.streaming.contents_peer import ContentsPeerAgent
+from repro.streaming.faults import FaultPlan
+from repro.streaming.leaf_peer import LeafPeerAgent
+
+
+@dataclass
+class SessionResult:
+    """Everything the experiment harness reads from one run."""
+
+    config: ProtocolConfig
+    protocol: str
+    #: peer_id -> activation time (ms)
+    activation_times: Dict[str, float]
+    #: time at which the last contents peer became active, or None
+    sync_time: Optional[float]
+    #: sync time expressed in δ rounds (the paper's Figures 10–11 y-axis)
+    rounds: Optional[int]
+    #: coordination messages sent up to (and including) the sync instant
+    control_packets_at_sync: int
+    #: coordination messages over the whole run
+    control_packets_total: int
+    messages_by_kind: Dict[str, int]
+    #: leaf receipt rate normalized to the content rate (Fig. 12 y-axis)
+    receipt_rate: float
+    #: fraction of data packets held by the leaf (received or recovered)
+    delivery_ratio: float
+    recovered_packets: int
+    duplicate_packets: int
+    #: leaf playback stats (only meaningful when playback enabled)
+    underruns: int
+    overruns: int
+    #: packets dropped at the leaf because arrivals exceeded ρ_s (§3.1)
+    receive_overruns: int
+    completed_at: Optional[float]
+    elapsed: float
+
+    @property
+    def all_active(self) -> bool:
+        return self.sync_time is not None
+
+    def summary(self) -> str:
+        return (
+            f"{self.protocol}: n={self.config.n} H={self.config.H} "
+            f"rounds={self.rounds} ctrl@sync={self.control_packets_at_sync} "
+            f"ctrl total={self.control_packets_total} "
+            f"rate={self.receipt_rate:.3f} delivery={self.delivery_ratio:.3f}"
+        )
+
+
+class StreamingSession:
+    """One simulated multi-source streaming run.
+
+    Parameters
+    ----------
+    config:
+        Workload/protocol parameters.
+    protocol:
+        A :class:`CoordinationProtocol` strategy instance.
+    latency / loss_factory:
+        Channel models; defaults are the paper's regime — constant δ
+        latency, lossless.
+    buffer_capacity / playback:
+        Leaf-side playback modelling (off by default; the coordination
+        figures only need arrival counting).
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        protocol: CoordinationProtocol,
+        latency: Optional[LatencyModel] = None,
+        loss_factory: Optional[Callable[[], LossModel]] = None,
+        buffer_capacity: float = float("inf"),
+        playback: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        repair_policy: Optional["RepairPolicy"] = None,
+        adaptation_policy: Optional["RateAdaptationPolicy"] = None,
+        leaf_receipt_rate: Optional[float] = None,
+        leaf_receive_buffer: float = 64.0,
+        peer_capacities: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        latency_factory = None
+        if latency is None:
+            # Default: each directed pair gets a constant latency drawn once
+            # from δ·U(1−s, 1+s) — hosts in an overlay are not equidistant.
+            # This both matches the paper's "control delay ≈ δ" regime and
+            # gives TCoP's first-offer-wins rule realistic tie-breaking
+            # (with exactly equal delays every child would adopt the same
+            # earliest parent).  Rounds are counted in hops, so the spread
+            # never skews Figures 10/11.
+            spread = config.pair_latency_spread
+            pair_rng = self.streams.get("latency/pairs")
+
+            def latency_factory(src: str, dst: str) -> ConstantLatency:
+                factor = 1.0 + spread * (2.0 * pair_rng.random() - 1.0)
+                return ConstantLatency(config.delta * factor)
+
+        self.overlay = Overlay(
+            self.env,
+            streams=self.streams,
+            default_latency=latency,
+            default_loss_factory=loss_factory,
+            latency_factory=latency_factory,
+        )
+        self.content = MediaContent(
+            "content",
+            n_packets=config.content_packets,
+            packet_size=config.packet_size,
+            rate=config.tau,
+            seed=config.seed,
+            with_payload=config.with_payload,
+        )
+        self.leaf = LeafPeerAgent(
+            self,
+            buffer_capacity=buffer_capacity,
+            playback=playback,
+            max_receipt_rate=leaf_receipt_rate,
+            receive_buffer_packets=leaf_receive_buffer,
+        )
+        self.peer_ids: List[str] = [f"CP{i}" for i in range(1, config.n + 1)]
+        #: per-peer uplink capacity in packets/ms (absent = unlimited);
+        #: §5's heterogeneous environment — a peer cannot exceed this no
+        #: matter what rate its assignments ask for
+        self.peer_capacities: Dict[str, float] = dict(peer_capacities or {})
+        self.peers: Dict[str, ContentsPeerAgent] = {
+            pid: ContentsPeerAgent(self, pid) for pid in self.peer_ids
+        }
+        self.activation_log: List[tuple[str, float]] = []
+        self.faults_fired: list = []
+        #: protocol-private per-session state (TCoP pending offers, …)
+        self.protocol_state: dict = {}
+        #: peers the protocol intends to activate (None = all of them);
+        #: set by single-source / schedule-based strategies
+        self.expected_active: Optional[set] = None
+        self._initiated = False
+        if fault_plan is not None:
+            fault_plan.install(self)
+        self.repair_monitor: Optional["RepairMonitor"] = None
+        if repair_policy is not None:
+            from repro.streaming.repair import RepairMonitor
+
+            self.repair_monitor = RepairMonitor(self, repair_policy)
+        self.adaptation_monitor: Optional["RateAdaptationMonitor"] = None
+        if adaptation_policy is not None:
+            from repro.streaming.adaptive import RateAdaptationMonitor
+
+            self.adaptation_monitor = RateAdaptationMonitor(
+                self, adaptation_policy
+            )
+
+    # ------------------------------------------------------------------
+    def record_activation(self, peer_id: str, time: float, hops: int) -> None:
+        self.activation_log.append((peer_id, time, hops))
+
+    @property
+    def selection_rng(self):
+        """RNG stream for the leaf's initial selection."""
+        return self.streams.get("select/leaf")
+
+    def leaf_select(self, m: int) -> list[str]:
+        """The leaf's random choice of ``m`` initial contents peers."""
+        rng = self.selection_rng
+        picked = rng.choice(len(self.peer_ids), size=m, replace=False)
+        return [self.peer_ids[i] for i in sorted(picked)]
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SessionResult:
+        """Initiate the protocol, run the simulation, collect metrics."""
+        if not self._initiated:
+            self.protocol.initiate(self)
+            self._initiated = True
+        self.env.run(until=until)
+        return self._collect()
+
+    def _collect(self) -> SessionResult:
+        cfg = self.config
+        activation_times = {pid: t for pid, t, _h in self.activation_log}
+        activation_hops = {pid: h for pid, _t, h in self.activation_log}
+        expected = (
+            self.expected_active
+            if self.expected_active is not None
+            else set(self.peer_ids)
+        )
+        live_peers = [
+            p for p in self.peer_ids
+            if p in expected and not self.peers[p].crashed
+        ]
+        all_active = all(pid in activation_times for pid in live_peers)
+        sync_time: Optional[float] = None
+        rounds: Optional[int] = None
+        if all_active and activation_times and live_peers:
+            sync_time = max(activation_times[pid] for pid in live_peers)
+            # rounds are counted in coordination hops (request = 1), which
+            # is exact regardless of per-pair latency heterogeneity
+            rounds = max(activation_hops[pid] for pid in live_peers)
+
+        traffic = self.overlay.traffic
+        coordination_kinds = [
+            k for k in traffic.sent_by_kind if k != "packet"
+        ]
+        total_ctrl = sum(traffic.sent_by_kind[k] for k in coordination_kinds)
+        if sync_time is not None:
+            at_sync = sum(
+                1
+                for kind, t, _src, _dst in traffic.send_log
+                if kind != "packet" and t <= sync_time + 1e-9
+            )
+        else:
+            at_sync = total_ctrl
+
+        decoder = self.leaf.decoder
+        return SessionResult(
+            config=cfg,
+            protocol=self.protocol.name,
+            activation_times=activation_times,
+            sync_time=sync_time,
+            rounds=rounds,
+            control_packets_at_sync=at_sync,
+            control_packets_total=total_ctrl,
+            messages_by_kind=dict(traffic.sent_by_kind),
+            receipt_rate=self.leaf.receipt_rate(),
+            delivery_ratio=decoder.delivery_ratio(),
+            recovered_packets=len(decoder.recovered),
+            duplicate_packets=decoder.duplicate_count,
+            underruns=self.leaf.buffer.underruns,
+            overruns=self.leaf.buffer.overruns,
+            receive_overruns=self.leaf.receive_overruns,
+            completed_at=self.leaf.completed_at,
+            elapsed=self.env.now,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingSession {self.protocol.name} n={self.config.n} "
+            f"H={self.config.H} t={self.env.now}>"
+        )

@@ -1,0 +1,21 @@
+"""Plain-text visualization of coordination runs.
+
+* :func:`render_transmission_tree` — the paper's Figure 9: the tree of
+  parent→child adoptions rooted at the leaf peer (exact for TCoP, where
+  every peer has at most one parent; for DCoP the first-activating parent
+  is shown).
+* :func:`activation_timeline` — per-round activation waves.
+* :func:`traffic_summary` — message counts by kind.
+"""
+
+from repro.viz.render import (
+    activation_timeline,
+    render_transmission_tree,
+    traffic_summary,
+)
+
+__all__ = [
+    "activation_timeline",
+    "render_transmission_tree",
+    "traffic_summary",
+]

@@ -1,0 +1,120 @@
+"""Tests for protocol configuration, rate math, and assignments."""
+
+import pytest
+
+from repro.core import Assignment, ProtocolConfig, parity_interval_for
+from repro.core.base import rate_for
+from repro.media import DataPacket, PacketSequence
+
+
+def data_seq(n):
+    return PacketSequence(DataPacket(k) for k in range(1, n + 1))
+
+
+class TestParityInterval:
+    def test_paper_regime_h1(self):
+        # §4: h=1 with 100 senders → one parity per 99 packets
+        assert parity_interval_for(100, 1) == 99
+        assert parity_interval_for(60, 1) == 59
+
+    def test_margin_zero_disables_parity(self):
+        assert parity_interval_for(10, 0) == 0
+
+    def test_floor_at_one(self):
+        assert parity_interval_for(2, 1) == 1
+        assert parity_interval_for(2, 5) == 1
+        assert parity_interval_for(1, 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parity_interval_for(0, 1)
+        with pytest.raises(ValueError):
+            parity_interval_for(5, -1)
+
+
+class TestRateFor:
+    def test_paper_formula(self):
+        # τ_i = τ(h+1)/(hH): τ=1, h=59, H=60
+        assert rate_for(1.0, 60, 59) == pytest.approx(60 / (59 * 60))
+
+    def test_no_parity_even_split(self):
+        assert rate_for(3.0, 3, 0) == pytest.approx(1.0)
+
+    def test_aggregate_preserves_data_timeline(self):
+        """n_parts peers at the split rate deliver (h+1)/h packets per
+        parent-packet-time — i.e. the data rate is preserved."""
+        for n_parts in (2, 5, 10):
+            for h in (1, 2, 9):
+                agg = n_parts * rate_for(1.0, n_parts, h)
+                assert agg == pytest.approx((h + 1) / h)
+
+
+class TestAssignment:
+    def test_build_plan_matches_esq_div(self):
+        from repro.fec import divide, enhance
+
+        basis = data_seq(12)
+        a = Assignment(basis=basis, n_parts=3, index=1, interval=2, rate=0.5)
+        assert a.build_plan() == divide(enhance(basis, 2), 3, 1)
+
+    def test_build_plan_no_parity(self):
+        basis = data_seq(6)
+        a = Assignment(basis=basis, n_parts=2, index=0, interval=0, rate=1.0)
+        assert a.build_plan().labels() == [1, 3, 5]
+
+    def test_empty_basis_gives_empty_plan(self):
+        a = Assignment(
+            basis=PacketSequence(), n_parts=2, index=1, interval=0, rate=1.0
+        )
+        assert len(a.build_plan()) == 0
+
+    def test_validation(self):
+        basis = data_seq(3)
+        with pytest.raises(ValueError):
+            Assignment(basis=basis, n_parts=0, index=0, interval=0, rate=1.0)
+        with pytest.raises(ValueError):
+            Assignment(basis=basis, n_parts=2, index=2, interval=0, rate=1.0)
+        with pytest.raises(ValueError):
+            Assignment(basis=basis, n_parts=2, index=0, interval=-1, rate=1.0)
+        with pytest.raises(ValueError):
+            Assignment(basis=basis, n_parts=2, index=0, interval=0, rate=0.0)
+
+    def test_plans_partition_basis(self):
+        basis = data_seq(20)
+        plans = [
+            Assignment(basis=basis, n_parts=4, index=i, interval=3, rate=1.0).build_plan()
+            for i in range(4)
+        ]
+        all_labels = sorted(repr(lb) for p in plans for lb in p.labels())
+        from repro.fec import enhance
+
+        expected = sorted(repr(lb) for lb in enhance(basis, 3).labels())
+        assert all_labels == expected
+
+
+class TestProtocolConfig:
+    def test_defaults_are_paper_scale(self):
+        cfg = ProtocolConfig()
+        assert cfg.n == 100
+        assert cfg.fault_margin == 1
+
+    def test_initial_interval_and_rate(self):
+        cfg = ProtocolConfig(n=100, H=60, fault_margin=1, tau=2.0)
+        assert cfg.initial_interval == 59
+        assert cfg.initial_rate == pytest.approx(2.0 * 60 / (59 * 60))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=5, H=6)
+        with pytest.raises(ValueError):
+            ProtocolConfig(H=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(fault_margin=-1)
+        with pytest.raises(ValueError):
+            ProtocolConfig(tau=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(delta=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(content_packets=0)

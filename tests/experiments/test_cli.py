@@ -1,0 +1,37 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_fig10_quick_prints_table(capsys):
+    rc = main(["fig10", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+    assert "rounds" in out
+    assert "H" in out
+
+
+def test_csv_output(capsys):
+    rc = main(["fig10", "--quick", "--csv"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "H,rounds,control_packets" in out
+
+
+def test_seed_changes_nothing_structural(capsys):
+    main(["fig10", "--quick", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_experiment_argument_required():
+    with pytest.raises(SystemExit):
+        main([])

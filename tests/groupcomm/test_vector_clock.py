@@ -1,0 +1,102 @@
+"""Tests for vector clocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.groupcomm import VectorClock
+
+GROUP = ["a", "b", "c"]
+
+
+def test_starts_at_zero():
+    vc = VectorClock(GROUP)
+    assert all(vc[m] == 0 for m in GROUP)
+
+
+def test_empty_group_rejected():
+    with pytest.raises(ValueError):
+        VectorClock([])
+
+
+def test_initial_counts():
+    vc = VectorClock(GROUP, {"a": 3})
+    assert vc["a"] == 3
+    assert vc["b"] == 0
+    with pytest.raises(KeyError):
+        VectorClock(GROUP, {"z": 1})
+    with pytest.raises(ValueError):
+        VectorClock(GROUP, {"a": -1})
+
+
+def test_tick_and_getitem():
+    vc = VectorClock(GROUP)
+    vc.tick("a").tick("a").tick("b")
+    assert vc["a"] == 2
+    assert vc["b"] == 1
+    with pytest.raises(KeyError):
+        vc.tick("z")
+    with pytest.raises(KeyError):
+        vc["z"]
+
+
+def test_merge_is_componentwise_max():
+    x = VectorClock(GROUP, {"a": 2, "b": 1})
+    y = VectorClock(GROUP, {"a": 1, "c": 5})
+    x.merge(y)
+    assert x.as_dict() == {"a": 2, "b": 1, "c": 5}
+
+
+def test_merge_group_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock(["a"]).merge(VectorClock(["b"]))
+
+
+def test_happens_before():
+    early = VectorClock(GROUP, {"a": 1})
+    late = VectorClock(GROUP, {"a": 2, "b": 1})
+    assert early < late
+    assert early <= late
+    assert not (late <= early)
+
+
+def test_concurrent():
+    x = VectorClock(GROUP, {"a": 1})
+    y = VectorClock(GROUP, {"b": 1})
+    assert x.concurrent_with(y)
+    assert y.concurrent_with(x)
+    assert not x.concurrent_with(x)
+
+
+def test_equality_and_hash():
+    x = VectorClock(GROUP, {"a": 1})
+    y = VectorClock(GROUP, {"a": 1})
+    assert x == y
+    assert hash(x) == hash(y)
+    assert x != VectorClock(GROUP, {"a": 2})
+
+
+def test_copy_is_independent():
+    x = VectorClock(GROUP, {"a": 1})
+    y = x.copy()
+    y.tick("a")
+    assert x["a"] == 1
+    assert y["a"] == 2
+
+
+def test_compare_group_mismatch():
+    with pytest.raises(ValueError):
+        _ = VectorClock(["a"]) <= VectorClock(["b"])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    xa=st.integers(0, 5), xb=st.integers(0, 5),
+    ya=st.integers(0, 5), yb=st.integers(0, 5),
+)
+def test_property_order_trichotomy(xa, xb, ya, yb):
+    """Exactly one of: x<y, y<x, x==y, concurrent."""
+    x = VectorClock(["a", "b"], {"a": xa, "b": xb})
+    y = VectorClock(["a", "b"], {"a": ya, "b": yb})
+    cases = [x < y, y < x, x == y, x.concurrent_with(y)]
+    assert sum(cases) == 1

@@ -1,0 +1,73 @@
+"""Tests for MediaContent and rate conversions."""
+
+import pytest
+
+from repro.media import MediaContent, mbps_to_packets_per_ms, packets_per_ms_to_mbps
+
+
+def test_content_packet_sequence():
+    c = MediaContent("m", n_packets=5, packet_size=16)
+    seq = c.packet_sequence()
+    assert len(seq) == 5
+    assert seq.labels() == [1, 2, 3, 4, 5]
+    assert all(len(p.payload) == 16 for p in seq)
+
+
+def test_content_deterministic_by_seed():
+    a = MediaContent("m", 4, 32, seed=9).payload(2)
+    b = MediaContent("m", 4, 32, seed=9).payload(2)
+    c = MediaContent("m", 4, 32, seed=10).payload(2)
+    assert a == b
+    assert a != c
+
+
+def test_symbolic_mode_has_no_payloads():
+    c = MediaContent("m", 3, with_payload=False)
+    assert not c.has_payload
+    assert c.payload(1) is None
+    assert c.packet(1).payload is None
+
+
+def test_payload_bounds_checked():
+    c = MediaContent("m", 3)
+    with pytest.raises(IndexError):
+        c.payload(0)
+    with pytest.raises(IndexError):
+        c.payload(4)
+
+
+def test_size_and_duration():
+    c = MediaContent("m", n_packets=100, packet_size=10, rate=2.0)
+    assert c.size_bytes == 1000
+    assert c.duration == 50.0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MediaContent("m", 0)
+    with pytest.raises(ValueError):
+        MediaContent("m", 1, packet_size=0)
+    with pytest.raises(ValueError):
+        MediaContent("m", 1, rate=0)
+
+
+def test_rate_conversion_roundtrip():
+    rate = mbps_to_packets_per_ms(30.0, packet_size=1024)
+    assert packets_per_ms_to_mbps(rate, 1024) == pytest.approx(30.0)
+
+
+def test_rate_conversion_known_value():
+    # 30 Mbps (the paper's video rate), 1250-byte packets = 10^4 bits:
+    # 30e3 bits/ms / 1e4 bits = 3 packets/ms
+    assert mbps_to_packets_per_ms(30.0, 1250) == pytest.approx(3.0)
+
+
+def test_rate_conversion_validation():
+    with pytest.raises(ValueError):
+        mbps_to_packets_per_ms(0, 100)
+    with pytest.raises(ValueError):
+        mbps_to_packets_per_ms(1, 0)
+    with pytest.raises(ValueError):
+        packets_per_ms_to_mbps(-1, 100)
+    with pytest.raises(ValueError):
+        packets_per_ms_to_mbps(1, -5)

@@ -1,0 +1,109 @@
+"""Tests for PacketSequence algebra (§2 operations)."""
+
+import pytest
+
+from repro.media import DataPacket, PacketSequence, ParityPacket
+
+
+def seq_of(*seqs):
+    return PacketSequence(DataPacket(s) for s in seqs)
+
+
+def test_len_iter_getitem():
+    s = seq_of(1, 2, 3)
+    assert len(s) == 3
+    assert [p.seq for p in s] == [1, 2, 3]
+    assert s[1].seq == 2
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError):
+        seq_of(1, 1)
+
+
+def test_contains_by_packet_and_label():
+    s = seq_of(1, 2)
+    assert DataPacket(1) in s
+    assert 2 in s
+    assert 3 not in s
+
+
+def test_union_matches_paper():
+    # pkt1 ∪ pkt2 ∪ pkt3 = <t1..t8> (§2)
+    pkt1 = seq_of(1, 2, 4, 5)
+    pkt2 = seq_of(3, 6)
+    pkt3 = seq_of(7, 8)
+    u = pkt1 | pkt2 | pkt3
+    assert u.labels() == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_union_dedupes():
+    a = seq_of(1, 2, 3)
+    b = seq_of(2, 3, 4)
+    assert (a | b).labels() == [1, 2, 3, 4]
+
+
+def test_intersection():
+    a = seq_of(1, 2, 3)
+    b = seq_of(2, 3, 4)
+    assert (a & b).labels() == [2, 3]
+    assert len(a & seq_of(9)) == 0
+
+
+def test_prefix_postfix():
+    s = seq_of(1, 2, 3, 4, 5)
+    assert s.prefix(3).labels() == [1, 2, 3]
+    assert s.postfix(3).labels() == [3, 4, 5]
+    assert s.after(3).labels() == [4, 5]
+
+
+def test_prefix_unknown_label_raises():
+    with pytest.raises(KeyError):
+        seq_of(1, 2).prefix(9)
+
+
+def test_slice_from_clamps():
+    s = seq_of(1, 2, 3)
+    assert s.slice_from(-5).labels() == [1, 2, 3]
+    assert s.slice_from(2).labels() == [3]
+    assert s.slice_from(99).labels() == []
+
+
+def test_position_and_find():
+    s = seq_of(5, 7, 9)
+    assert s.position(7) == 1
+    assert s.find(9).seq == 9
+    assert s.find(1) is None
+
+
+def test_counts():
+    s = PacketSequence([DataPacket(1), ParityPacket((1, 2)), DataPacket(2)])
+    assert s.data_count() == 2
+    assert s.parity_count() == 1
+    assert s.covered_seqs() == {1, 2}
+
+
+def test_union_orders_parity_with_its_segment():
+    # parity over (3,4) sorts at its smallest covered seq, after data t3
+    a = PacketSequence([DataPacket(1), ParityPacket((3, 4))])
+    b = seq_of(2, 3)
+    u = a | b
+    assert u.labels() == [1, 2, 3, (3, 4)]
+
+
+def test_equality_is_by_labels_in_order():
+    assert seq_of(1, 2) == seq_of(1, 2)
+    assert seq_of(1, 2) != seq_of(2, 1)
+    assert hash(seq_of(1, 2)) == hash(seq_of(1, 2))
+
+
+def test_empty_sequence():
+    s = PacketSequence()
+    assert len(s) == 0
+    assert s.labels() == []
+    assert s.covered_seqs() == frozenset()
+
+
+def test_repr_truncates():
+    s = seq_of(*range(1, 20))
+    assert "…" in repr(s)

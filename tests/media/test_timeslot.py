@@ -1,0 +1,111 @@
+"""Tests for §2 time-slot allocation, including the Figures 1-3 example."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media import allocate_packets, build_slots
+from repro.media.timeslot import TimeSlot, allocation_end_times
+
+
+def naive_allocate(bandwidths, n_packets, base_period=1.0):
+    """Literal transcription of the paper's algorithm as a test oracle.
+
+    Materializes all slots, then repeatedly removes the initial slot (no
+    remaining slot has strictly smaller end time) with maximal start time.
+    """
+    horizon = base_period * n_packets * max(1.0 / bw for bw in bandwidths) + 1
+    slots = build_slots(bandwidths, horizon, base_period)
+    alloc = []
+    for _ in range(n_packets):
+        min_et = min(s.end for s in slots)
+        initial = [s for s in slots if s.end == min_et]
+        chosen = max(initial, key=lambda s: s.start)
+        alloc.append(chosen.channel)
+        slots.remove(chosen)
+    return alloc
+
+
+def test_paper_figure_1_allocation():
+    """bw 4:2:1 over t1..t7 → pkt1=t1,t2,t4,t5; pkt2=t3,t6; pkt3=t7."""
+    alloc = allocate_packets([4, 2, 1], 7)
+    assert alloc == [0, 0, 1, 0, 0, 1, 2]
+
+
+def test_paper_figure_1_cardinality_ratio():
+    """|pkt_i| proportional to bw_i over whole periods."""
+    alloc = allocate_packets([4, 2, 1], 28)
+    counts = [alloc.count(ch) for ch in range(3)]
+    assert counts == [16, 8, 4]
+
+
+def test_matches_naive_oracle_small_cases():
+    for bws in ([4, 2, 1], [1, 1], [3, 2], [5, 3, 2, 1]):
+        assert allocate_packets(bws, 12) == naive_allocate(bws, 12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bws=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4),
+    n=st.integers(min_value=0, max_value=30),
+)
+def test_matches_naive_oracle_property(bws, n):
+    assert allocate_packets(bws, n) == naive_allocate(bws, n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bws=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=5),
+    n=st.integers(min_value=1, max_value=60),
+)
+def test_packet_allocation_property(bws, n):
+    """On receipt of t_h every preceding packet has already arrived:
+    slot end times along the packet order are non-decreasing."""
+    ends = allocation_end_times(bws, n)
+    assert all(a <= b + 1e-12 for a, b in zip(ends, ends[1:]))
+
+
+def test_equal_bandwidths_round_robin_like():
+    alloc = allocate_packets([1, 1, 1], 6)
+    # every channel carries exactly 2 of the first 6 packets
+    assert sorted(alloc.count(c) for c in range(3)) == [2, 2, 2]
+
+
+def test_single_channel_gets_everything():
+    assert allocate_packets([7], 5) == [0] * 5
+
+
+def test_zero_packets():
+    assert allocate_packets([1, 2], 0) == []
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        allocate_packets([], 3)
+    with pytest.raises(ValueError):
+        allocate_packets([0], 3)
+    with pytest.raises(ValueError):
+        allocate_packets([1], -1)
+    with pytest.raises(ValueError):
+        build_slots([1], 0)
+    with pytest.raises(ValueError):
+        TimeSlot(0, 0, 1.0, 1.0)
+
+
+def test_build_slots_lengths():
+    slots = build_slots([4, 2, 1], horizon=1.0)
+    per_channel = {
+        ch: sorted(s.k for s in slots if s.channel == ch) for ch in range(3)
+    }
+    assert per_channel == {0: [0, 1, 2, 3], 1: [0, 1], 2: [0]}
+
+
+def test_faster_channel_never_starves():
+    """The fastest channel carries at least as many packets as any other."""
+    for bws in itertools.permutations([5, 2, 1]):
+        alloc = allocate_packets(list(bws), 40)
+        fastest = max(range(3), key=lambda c: bws[c])
+        counts = [alloc.count(c) for c in range(3)]
+        assert counts[fastest] == max(counts)

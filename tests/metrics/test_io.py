@@ -1,0 +1,78 @@
+"""Tests for JSON artifact persistence."""
+
+import pytest
+
+from repro.metrics import SweepSeries, Table, load_artifacts, save_artifacts
+from repro.metrics.io import (
+    artifact_from_dict,
+    artifact_to_dict,
+    series_from_dict,
+    series_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
+
+
+def sample_table():
+    t = Table(["a", "b"], title="demo")
+    t.add_row(1, 2.5)
+    t.add_row(3, "x")
+    return t
+
+
+def sample_series():
+    s = SweepSeries("H", ["rounds", "rate"], title="fig")
+    s.add(2, rounds=9, rate=10.3)
+    s.add(60, rounds=2, rate=1.06)
+    return s
+
+
+def test_table_roundtrip():
+    t = sample_table()
+    t2 = table_from_dict(table_to_dict(t))
+    assert t2.title == "demo"
+    assert t2.headers == t.headers
+    assert t2.rows == t.rows
+
+
+def test_series_roundtrip():
+    s = sample_series()
+    s2 = series_from_dict(series_to_dict(s))
+    assert s2.title == s.title
+    assert s2.x == s.x
+    assert s2.series("rounds") == s.series("rounds")
+    assert s2.series("rate") == s.series("rate")
+
+
+def test_artifact_dispatch():
+    assert artifact_to_dict(sample_table())["type"] == "table"
+    assert artifact_to_dict(sample_series())["type"] == "series"
+    with pytest.raises(TypeError):
+        artifact_to_dict(object())
+    with pytest.raises(ValueError):
+        artifact_from_dict({"type": "mystery"})
+    with pytest.raises(ValueError):
+        table_from_dict({"type": "series"})
+    with pytest.raises(ValueError):
+        series_from_dict({"type": "table"})
+
+
+def test_save_load_file_roundtrip(tmp_path):
+    path = tmp_path / "results.json"
+    save_artifacts({"t": sample_table(), "s": sample_series()}, path)
+    loaded = load_artifacts(path)
+    assert set(loaded) == {"t", "s"}
+    assert isinstance(loaded["t"], Table)
+    assert isinstance(loaded["s"], SweepSeries)
+    assert loaded["s"].series("rounds") == [9, 2]
+
+
+def test_cli_out_writes_json(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    out = tmp_path / "fig10.json"
+    rc = main(["fig10", "--quick", "--out", str(out)])
+    assert rc == 0
+    loaded = load_artifacts(out)
+    assert "Figure 10" in loaded
+    assert loaded["Figure 10"].series("rounds")[-1] == 1

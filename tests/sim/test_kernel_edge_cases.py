@@ -1,0 +1,214 @@
+"""Edge-case tests for the DES kernel: races the protocols rely on."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, Resource, Store
+
+
+def test_interrupt_while_waiting_on_store_get():
+    env = Environment()
+    store = Store(env)
+    outcome = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except Interrupt:
+            outcome.append(("interrupted", env.now))
+
+    def attacker(p):
+        yield env.timeout(3)
+        p.interrupt()
+
+    p = env.process(consumer())
+    env.process(attacker(p))
+    env.run()
+    assert outcome == [("interrupted", 3)]
+    # the abandoned get must not swallow a later put
+    store.put("item")
+    got = []
+
+    def second():
+        got.append((yield store.get()))
+
+    env.process(second())
+    env.run()
+    assert got == ["item"]
+
+
+def test_process_failing_before_first_yield():
+    env = Environment()
+
+    def bad():
+        raise RuntimeError("immediate")
+        yield  # pragma: no cover
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="immediate"):
+        env.run()
+
+
+def test_process_with_no_yield_finishes():
+    env = Environment()
+
+    def empty():
+        return "done"
+        yield  # pragma: no cover
+
+    p = env.process(empty())
+    assert env.run(p) == "done"
+
+
+def test_condition_over_processes():
+    env = Environment()
+
+    def worker(d, v):
+        yield env.timeout(d)
+        return v
+
+    p1 = env.process(worker(2, "a"))
+    p2 = env.process(worker(5, "b"))
+
+    def waiter():
+        result = yield AllOf(env, [p1, p2])
+        return (result[p1], result[p2], env.now)
+
+    assert env.run(env.process(waiter())) == ("a", "b", 5)
+
+
+def test_anyof_loser_can_still_be_awaited():
+    env = Environment()
+    fast = env.timeout(1, value="fast")
+    slow = env.timeout(9, value="slow")
+
+    def proc():
+        first = yield AnyOf(env, [fast, slow])
+        assert fast in first
+        late = yield slow
+        return late
+
+    assert env.run(env.process(proc())) == "slow"
+
+
+def test_store_get_cancel_releases_slot():
+    env = Environment()
+    store = Store(env)
+
+    def impatient():
+        get_ev = store.get()
+        timeout = env.timeout(2)
+        result = yield AnyOf(env, [get_ev, timeout])
+        if get_ev not in result:
+            get_ev.cancel()
+            return "gave up"
+        return result[get_ev]  # pragma: no cover
+
+    def late_producer():
+        yield env.timeout(5)
+        yield store.put("late")
+
+    p = env.process(impatient())
+    env.process(late_producer())
+    env.run()
+    assert p.value == "gave up"
+    # the cancelled get didn't consume the item
+    assert store.items == ["late"]
+
+
+def test_resource_request_cancel():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def quitter():
+        req = res.request()
+        timeout = env.timeout(1)
+        yield AnyOf(env, [req, timeout])
+        if not req.triggered:
+            req.cancel()
+            return "bailed"
+        res.release(req)  # pragma: no cover
+        return "got it"
+
+    env.process(holder())
+    p = env.process(quitter())
+    env.run()
+    assert p.value == "bailed"
+    assert res.count == 0
+
+
+def test_nested_interrupt_handling_continues():
+    env = Environment()
+    log = []
+
+    def resilient():
+        for attempt in range(3):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                log.append((attempt, i.cause))
+        return "survived"
+
+    def attacker(p):
+        for k in range(3):
+            yield env.timeout(1)
+            p.interrupt(k)
+
+    p = env.process(resilient())
+    env.process(attacker(p))
+    assert env.run(p) == "survived"
+    assert log == [(0, 0), (1, 1), (2, 2)]
+
+
+def test_event_triggered_before_yield_resumes_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+
+    def proc():
+        value = yield ev
+        return (value, env.now)
+
+    env.run(until=1)  # ev is processed by now
+    p = env.process(proc())
+    assert env.run(p) == ("early", 1)
+
+
+def test_simultaneous_puts_preserve_order():
+    env = Environment()
+    store = Store(env)
+
+    def burst():
+        for k in range(5):
+            yield store.put(k)
+
+    def consumer(out):
+        for _ in range(5):
+            out.append((yield store.get()))
+
+    out = []
+    env.process(burst())
+    env.process(consumer(out))
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_timeout_ordering_with_equal_times_and_priorities():
+    env = Environment()
+    order = []
+
+    def proc(tag, reps):
+        for _ in range(reps):
+            yield env.timeout(1)
+        order.append(tag)
+
+    env.process(proc("two-hops", 2))
+    env.process(proc("one-hop-of-two", 1))
+    env.run()
+    assert set(order) == {"two-hops", "one-hop-of-two"}
+    assert env.now == 2

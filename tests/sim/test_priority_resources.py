@@ -1,0 +1,171 @@
+"""Tests for priority and preemptive resources."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+)
+
+
+def test_priority_resource_grants_most_urgent_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def worker(tag, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.process(worker("low", 5, 1))
+    env.process(worker("high", 1, 2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_priority_resource_fifo_within_class():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def worker(tag, delay):
+        yield env.timeout(delay)
+        with res.request(priority=3) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.process(worker("first", 1))
+    env.process(worker("second", 2))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_preemptive_resource_bumps_less_urgent_user():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    events = []
+
+    def background():
+        req = res.request(priority=5)
+        yield req
+        try:
+            yield env.timeout(100)
+            events.append("bg-finished")  # pragma: no cover
+        except Interrupt as i:
+            assert isinstance(i.cause, Preempted)
+            events.append(("bg-preempted", env.now, i.cause.usage_since))
+        finally:
+            res.release(req)
+
+    def urgent():
+        yield env.timeout(7)
+        with res.request(priority=1) as req:
+            yield req
+            events.append(("urgent-granted", env.now))
+            yield env.timeout(1)
+
+    env.process(background())
+    env.process(urgent())
+    env.run()
+    assert events == [("bg-preempted", 7, 0.0), ("urgent-granted", 7)]
+
+
+def test_preemptive_resource_respects_preempt_false():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    events = []
+
+    def background():
+        req = res.request(priority=5)
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+        events.append(("bg-done", env.now))
+
+    def polite():
+        yield env.timeout(2)
+        with res.request(priority=1, preempt=False) as req:
+            yield req
+            events.append(("polite-granted", env.now))
+
+    env.process(background())
+    env.process(polite())
+    env.run()
+    assert events == [("bg-done", 10), ("polite-granted", 10)]
+
+
+def test_preemption_never_bumps_equal_or_more_urgent():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    bumped = []
+
+    def holder():
+        req = res.request(priority=1)
+        yield req
+        try:
+            yield env.timeout(10)
+        except Interrupt:  # pragma: no cover
+            bumped.append(True)
+        res.release(req)
+
+    def contender():
+        yield env.timeout(1)
+        with res.request(priority=1) as req:
+            yield req
+
+    env.process(holder())
+    env.process(contender())
+    env.run()
+    assert not bumped
+
+
+def test_preemptive_capacity_two():
+    """Only the least urgent of several users is bumped."""
+    env = Environment()
+    res = PreemptiveResource(env, capacity=2)
+    outcome = {}
+
+    def user(tag, prio):
+        req = res.request(priority=prio)
+        yield req
+        try:
+            yield env.timeout(50)
+            outcome[tag] = "finished"
+        except Interrupt:
+            outcome[tag] = "preempted"
+        finally:
+            res.release(req)
+
+    def vip():
+        yield env.timeout(5)
+        with res.request(priority=0) as req:
+            yield req
+            outcome["vip"] = "granted"
+            yield env.timeout(1)
+
+    env.process(user("mid", 2))
+    env.process(user("low", 7))
+    env.process(vip())
+    env.run()
+    assert outcome["low"] == "preempted"
+    assert outcome["mid"] == "finished"
+    assert outcome["vip"] == "granted"

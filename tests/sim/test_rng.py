@@ -1,0 +1,62 @@
+"""Tests for deterministic random stream management."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_same_stream_object():
+    rs = RandomStreams(1)
+    assert rs.get("a") is rs.get("a")
+
+
+def test_same_seed_reproducible_across_instances():
+    a = RandomStreams(7).get("latency").random(5)
+    b = RandomStreams(7).get("latency").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_distinct_names_distinct_draws():
+    rs = RandomStreams(7)
+    a = rs.get("x").random(8)
+    b = rs.get("y").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_distinct_seeds_distinct_draws():
+    a = RandomStreams(1).get("x").random(8)
+    b = RandomStreams(2).get("x").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_new_consumer_does_not_perturb_existing():
+    rs1 = RandomStreams(3)
+    first = rs1.get("sel").random(4)
+
+    rs2 = RandomStreams(3)
+    rs2.get("other")  # an extra stream created before "sel"
+    second = rs2.get("sel").random(4)
+    assert np.array_equal(first, second)
+
+
+def test_spawn_derives_child_family():
+    parent = RandomStreams(5)
+    child1 = parent.spawn("rep0")
+    child2 = parent.spawn("rep1")
+    assert child1.root_seed != child2.root_seed
+    # deterministic derivation
+    again = RandomStreams(5).spawn("rep0")
+    assert again.root_seed == child1.root_seed
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RandomStreams(-1)
+
+
+def test_repr_lists_streams():
+    rs = RandomStreams(0)
+    rs.get("b")
+    rs.get("a")
+    assert "['a', 'b']" in repr(rs)

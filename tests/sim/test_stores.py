@@ -1,0 +1,265 @@
+"""Tests for Store / PriorityStore / FilterStore and Resource."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for k in range(3):
+            yield store.put(k)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(7, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("a-in", env.now))
+        yield store.put("b")
+        log.append(("b-in", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        item = yield store.get()
+        log.append((item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("a-in", 0), ("a", 5), ("b-in", 5)]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer():
+        yield store.put(PriorityItem(3, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(2, "mid"))
+
+    def consumer():
+        yield env.timeout(1)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item.item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_item_comparison_ignores_payload():
+    # Payloads may be uncomparable; only priority matters.
+    a = PriorityItem(1, {"x": 1})
+    b = PriorityItem(2, object())
+    assert a < b
+
+
+def test_filter_store_selects_matching():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def producer():
+        for k in range(5):
+            yield store.put(k)
+
+    def consumer():
+        yield env.timeout(1)
+        item = yield store.get(lambda x: x % 2 == 1)
+        got.append(item)
+        item = yield store.get(lambda x: x % 2 == 1)
+        got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [1, 3]
+    assert store.items == [0, 2, 4]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x == "wanted")
+        got.append((env.now, item))
+
+    def producer():
+        yield store.put("other")
+        yield env.timeout(3)
+        yield store.put("wanted")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(3, "wanted")]
+
+
+def test_resource_limits_concurrency():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active_high_water = []
+
+    def worker():
+        with res.request() as req:
+            yield req
+            active_high_water.append(res.count)
+            yield env.timeout(10)
+
+    for _ in range(5):
+        env.process(worker())
+    env.run()
+    assert max(active_high_water) <= 2
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    for tag in "abc":
+        env.process(worker(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_release_wakes_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    times = {}
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(4)
+        res.release(req)
+
+    def waiter():
+        with res.request() as req:
+            yield req
+            times["granted"] = env.now
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert times["granted"] == 4
+
+
+def test_resource_queue_inspection():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def waiter():
+        with res.request() as req:
+            yield req
+
+    env.process(holder())
+    env.process(waiter())
+    env.run(until=1)
+    assert res.count == 1
+    assert len(res.queue) == 1
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_store_many_producers_consumers():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(k):
+        yield env.timeout(k)
+        yield store.put(k)
+
+    def consumer():
+        while len(received) < 20:
+            item = yield store.get()
+            received.append(item)
+
+    for k in range(20):
+        env.process(producer(k))
+    env.process(consumer())
+    env.run()
+    assert sorted(received) == list(range(20))

@@ -1,0 +1,94 @@
+"""Tests for the playback buffer (overrun/underrun accounting)."""
+
+import pytest
+
+from repro.streaming import BufferEvent, PlaybackBuffer
+
+
+def test_in_order_playback():
+    buf = PlaybackBuffer(3)
+    for seq in (1, 2, 3):
+        assert buf.offer(seq, time=float(seq))
+    assert buf.play_next(10) == 1
+    assert buf.play_next(11) == 2
+    assert buf.play_next(12) == 3
+    assert buf.finished
+    assert buf.underruns == 0
+
+
+def test_out_of_order_arrivals_buffer_up():
+    buf = PlaybackBuffer(3)
+    buf.offer(3, 0)
+    buf.offer(1, 1)
+    buf.offer(2, 2)
+    assert [buf.play_next(i) for i in range(3)] == [1, 2, 3]
+
+
+def test_underrun_recorded_when_gap():
+    buf = PlaybackBuffer(3)
+    buf.offer(2, 0)
+    assert buf.play_next(5) is None
+    assert buf.underruns == 1
+    assert buf.events == [BufferEvent("underrun", 5, 1)]
+    buf.offer(1, 6)
+    assert buf.play_next(7) == 1
+
+
+def test_overrun_when_capacity_exceeded():
+    buf = PlaybackBuffer(10, capacity=2)
+    assert buf.offer(5, 0)
+    assert buf.offer(6, 0)
+    assert not buf.offer(7, 1)
+    assert buf.overruns == 1
+    assert buf.events[-1].kind == "overrun"
+
+
+def test_duplicates_and_stale_ignored():
+    buf = PlaybackBuffer(5, capacity=2)
+    buf.offer(1, 0)
+    assert buf.offer(1, 1)  # duplicate, no overrun even at capacity edge
+    buf.play_next(2)
+    assert buf.offer(1, 3)  # stale (already played)
+    assert buf.overruns == 0
+
+
+def test_skip_moves_past_lost_packet():
+    buf = PlaybackBuffer(3)
+    buf.offer(2, 0)
+    buf.offer(3, 0)
+    assert buf.skip() == 1
+    assert buf.play_next(1) == 2
+    assert buf.play_next(2) == 3
+
+
+def test_level_and_next_needed():
+    buf = PlaybackBuffer(5)
+    buf.offer(2, 0)
+    buf.offer(3, 0)
+    assert buf.level == 2
+    assert buf.next_needed == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PlaybackBuffer(0)
+    with pytest.raises(ValueError):
+        PlaybackBuffer(5, capacity=0)
+    buf = PlaybackBuffer(3)
+    with pytest.raises(ValueError):
+        buf.offer(0, 0)
+    with pytest.raises(ValueError):
+        buf.offer(4, 0)
+
+
+def test_play_after_finish_is_none():
+    buf = PlaybackBuffer(1)
+    buf.offer(1, 0)
+    assert buf.play_next(1) == 1
+    assert buf.play_next(2) is None
+    assert buf.underruns == 0  # finished, not starved
+
+
+def test_repr():
+    buf = PlaybackBuffer(4)
+    assert "next=1/4" in repr(buf)

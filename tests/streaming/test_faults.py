@@ -1,0 +1,126 @@
+"""Tests for fault injection and the paper's fault-tolerance claim."""
+
+import pytest
+
+from repro.core import DCoP, ProtocolConfig, ScheduleBasedCoordination, SingleSourceStreaming
+from repro.streaming import CrashFault, DegradeFault, FaultPlan, StreamingSession
+
+
+def config(**kw):
+    defaults = dict(
+        n=12, H=6, fault_margin=1, tau=1.0, delta=10.0,
+        content_packets=300, seed=4,
+    )
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        CrashFault("CP1", at=-1)
+    with pytest.raises(ValueError):
+        DegradeFault("CP1", at=-1, factor=0.5)
+    with pytest.raises(ValueError):
+        DegradeFault("CP1", at=1, factor=0)
+
+
+def test_fault_plan_builder():
+    plan = FaultPlan().crash("CP1", 5).degrade("CP2", 6, 0.5)
+    assert len(plan.crashes) == 1
+    assert len(plan.degradations) == 1
+
+
+def test_crash_stops_transmission():
+    cfg = config()
+    # find which peer the leaf will pick (same seed → same selection)
+    probe = StreamingSession(config(), SingleSourceStreaming())
+    server = probe.leaf_select(1)[0]
+    plan = FaultPlan().crash(server, 30.0)
+    session = StreamingSession(cfg, SingleSourceStreaming(), fault_plan=plan)
+    r = session.run()
+    assert r.delivery_ratio < 0.5  # most of the content never arrives
+    assert session.faults_fired
+
+
+def test_single_source_crash_kills_stream_dcop_survives():
+    """The paper's core claim: multi-source + parity tolerates a peer
+    crash; single-source does not."""
+    # single source: crash the server mid-stream
+    probe = StreamingSession(config(fault_margin=0), SingleSourceStreaming())
+    server = probe.leaf_select(1)[0]
+    ss = StreamingSession(
+        config(fault_margin=0),
+        SingleSourceStreaming(),
+        fault_plan=FaultPlan().crash(server, 100.0),
+    )
+    r_ss = ss.run()
+
+    # DCoP with margin 1: crash one of the initially selected peers after
+    # it has synchronized
+    probe = StreamingSession(config(), DCoP())
+    victim = probe.leaf_select(6)[0]
+    dcop = StreamingSession(
+        config(),
+        DCoP(),
+        fault_plan=FaultPlan().crash(victim, 100.0),
+    )
+    r_dcop = dcop.run()
+
+    assert r_ss.delivery_ratio < 0.6
+    assert r_dcop.delivery_ratio > r_ss.delivery_ratio
+
+
+def test_parity_recovers_crashed_peer_packets():
+    """Schedule-based H senders, margin 1: one peer's death per recovery
+    segment is fully recoverable."""
+    cfg = config(n=10, H=5, fault_margin=1, content_packets=400)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[2]
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=FaultPlan().crash(victim, 150.0),
+    )
+    r = session.run()
+    assert r.recovered_packets > 0
+    assert r.delivery_ratio == 1.0
+
+
+def test_no_parity_crash_loses_data():
+    cfg = config(n=10, H=5, fault_margin=0, content_packets=400)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[2]
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=FaultPlan().crash(victim, 150.0),
+    )
+    r = session.run()
+    assert r.delivery_ratio < 1.0
+
+
+def test_degradation_slows_but_loses_nothing():
+    cfg = config(n=10, H=5, fault_margin=0, content_packets=300)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[0]
+    slow = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=FaultPlan().degrade(victim, 50.0, factor=0.25),
+    )
+    r_slow = slow.run()
+    clean = StreamingSession(cfg, ScheduleBasedCoordination()).run()
+    assert r_slow.delivery_ratio == 1.0
+    assert r_slow.completed_at > clean.completed_at
+
+
+def test_crashed_peer_excluded_from_sync_metric():
+    """Crashing a peer before coordination reaches it must not wedge the
+    sync metric."""
+    cfg = config(n=10, H=3)
+    session = StreamingSession(
+        cfg, DCoP(), fault_plan=FaultPlan().crash("CP9", 0.0)
+    )
+    r = session.run()
+    # CP9 is down from t=0; remaining peers still synchronize
+    assert "CP9" not in r.activation_times or r.all_active

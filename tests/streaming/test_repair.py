@@ -1,0 +1,133 @@
+"""Tests for leaf-driven repair (beyond-parity recovery)."""
+
+import pytest
+
+from repro.core import DCoP, ProtocolConfig, ScheduleBasedCoordination
+from repro.net.loss import BernoulliLoss
+from repro.streaming import FaultPlan, RepairPolicy, StreamingSession
+from repro.streaming.repair import RepairRequest
+
+
+def config(**kw):
+    defaults = dict(
+        n=10, H=5, fault_margin=0, tau=1.0, delta=10.0,
+        content_packets=300, seed=4,
+    )
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def crashed_run(repair_policy=None, margin=0, crashes=1):
+    cfg = config(fault_margin=margin)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victims = probe.leaf_select(5)[:crashes]
+    plan = FaultPlan()
+    for v in victims:
+        plan.crash(v, 100.0)
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=plan,
+        repair_policy=repair_policy,
+    )
+    return session, session.run()
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RepairPolicy(check_period_deltas=0)
+    with pytest.raises(ValueError):
+        RepairPolicy(stall_checks=0)
+    with pytest.raises(ValueError):
+        RepairPolicy(fanout=0)
+    with pytest.raises(ValueError):
+        RepairPolicy(rate_factor=0)
+    with pytest.raises(ValueError):
+        RepairPolicy(max_rounds=-1)
+
+
+def test_without_repair_crash_loses_data():
+    _, r = crashed_run(repair_policy=None)
+    assert r.delivery_ratio < 1.0
+
+
+def test_repair_restores_full_delivery():
+    session, r = crashed_run(repair_policy=RepairPolicy())
+    assert r.delivery_ratio == 1.0
+    assert session.repair_monitor.rounds_issued >= 1
+    assert not session.repair_monitor.gave_up
+
+
+def test_repair_messages_counted_as_control():
+    session, r = crashed_run(repair_policy=RepairPolicy())
+    assert r.messages_by_kind.get("repair", 0) >= 1
+
+
+def test_repair_with_payload_bytes_verified():
+    cfg = config(with_payload=True, packet_size=64, content_packets=120)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[0]
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=FaultPlan().crash(victim, 40.0),
+        repair_policy=RepairPolicy(),
+    )
+    r = session.run()
+    assert r.delivery_ratio == 1.0
+    assert session.leaf.decoder.verify_against(session.content)
+
+
+def test_no_stall_no_repair():
+    cfg = config()
+    session = StreamingSession(
+        cfg, ScheduleBasedCoordination(), repair_policy=RepairPolicy()
+    )
+    r = session.run()
+    assert r.delivery_ratio == 1.0
+    assert session.repair_monitor.rounds_issued == 0
+
+
+def test_repair_retries_until_live_peer_found():
+    """Several crashed peers: repair rounds re-sample until live peers
+    cover the gap."""
+    session, r = crashed_run(repair_policy=RepairPolicy(fanout=2), crashes=3)
+    assert r.delivery_ratio == 1.0
+
+
+def test_repair_gives_up_after_max_rounds():
+    """If every peer is dead, the monitor stops instead of spinning."""
+    cfg = config(n=4, H=4)
+    plan = FaultPlan()
+    for pid in ("CP1", "CP2", "CP3", "CP4"):
+        plan.crash(pid, 50.0)
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=plan,
+        repair_policy=RepairPolicy(max_rounds=3),
+    )
+    r = session.run()
+    assert r.delivery_ratio < 1.0
+    assert session.repair_monitor.gave_up
+    assert session.repair_monitor.rounds_issued == 3
+
+
+def test_repair_under_loss_plus_no_parity():
+    """Bernoulli loss with margin 0: repair mops up what parity would
+    have handled."""
+    cfg = config(fault_margin=0)
+    session = StreamingSession(
+        cfg,
+        DCoP(),
+        loss_factory=lambda: BernoulliLoss(0.05),
+        repair_policy=RepairPolicy(),
+    )
+    r = session.run()
+    assert r.delivery_ratio == 1.0
+
+
+def test_repair_request_slices_are_disjoint_cover():
+    req = RepairRequest(seqs=[1, 5, 9], rate=0.5)
+    assert req.seqs == [1, 5, 9]
+    assert req.rate == 0.5

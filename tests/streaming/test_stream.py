@@ -1,0 +1,194 @@
+"""Tests for transmission streams and the handoff (Mark/Esq/Div) logic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Assignment
+from repro.media import DataPacket, PacketSequence
+from repro.streaming import Stream
+
+
+def data_seq(n):
+    return PacketSequence(DataPacket(k) for k in range(1, n + 1))
+
+
+def drain(stream):
+    out = []
+    while True:
+        p = stream.pop_next()
+        if p is None:
+            return out
+        out.append(p)
+
+
+def test_stream_pops_in_order():
+    s = Stream(data_seq(5), rate=1.0)
+    assert [p.seq for p in drain(s)] == [1, 2, 3, 4, 5]
+    assert s.exhausted
+    assert s.sent_count == 5
+
+
+def test_empty_stream_is_exhausted():
+    s = Stream(PacketSequence(), rate=1.0)
+    assert s.exhausted
+    assert s.pop_next() is None
+    with pytest.raises(RuntimeError):
+        _ = s.current_rate
+
+
+def test_invalid_rate():
+    with pytest.raises(ValueError):
+        Stream(data_seq(1), rate=0)
+
+
+def test_from_assignment():
+    a = Assignment(basis=data_seq(6), n_parts=2, index=1, interval=0, rate=0.5)
+    s = Stream.from_assignment(a)
+    assert [p.seq for p in drain(s)] == [2, 4, 6]
+
+
+def test_remaining_and_future():
+    s = Stream(data_seq(4), rate=1.0)
+    s.pop_next()
+    assert s.remaining() == 3
+    assert [p.seq for p in s.future_packets()] == [2, 3, 4]
+
+
+def test_handoff_keeps_marked_prefix_at_old_rate():
+    """delta*rate = 3 packets stay with the parent before the switch."""
+    s = Stream(data_seq(20), rate=1.0)
+    plan = s.handoff(n_children=1, fault_margin=0, delta=3.0)
+    assert plan is not None
+    sent = drain(s)
+    # first 3 packets unchanged, then every other packet of the tail
+    assert [p.seq for p in sent[:3]] == [1, 2, 3]
+    assert [p.seq for p in sent[3:]] == [4, 6, 8, 10, 12, 14, 16, 18, 20]
+
+
+def test_handoff_child_assignment_is_complement():
+    s = Stream(data_seq(20), rate=1.0)
+    plan = s.handoff(n_children=1, fault_margin=0, delta=3.0)
+    child = Stream.from_assignment(plan.assignments[0])
+    assert [p.seq for p in drain(child)] == [5, 7, 9, 11, 13, 15, 17, 19]
+
+
+def test_handoff_partitions_postfix_with_parity():
+    """Parent + children exactly cover the enhanced postfix."""
+    s = Stream(data_seq(30), rate=1.0)
+    before = [p.label for p in s.future_packets()]
+    plan = s.handoff(n_children=2, fault_margin=1, delta=4.0)
+    assert plan.n_parts == 3
+    assert plan.interval == 2
+    parent_labels = [p.label for p in s.future_packets()]
+    child_labels = [
+        p.label
+        for a in plan.assignments
+        for p in Stream.from_assignment(a).future_packets()
+    ]
+    from repro.fec import enhance
+
+    head, tail = before[:4], before[4:]
+    expected = head + list(
+        enhance(PacketSequence(DataPacket(sq) for sq in tail), 2).labels()
+    )
+    assert sorted(map(repr, parent_labels + child_labels)) == sorted(
+        map(repr, expected)
+    )
+
+
+def test_handoff_rate_follows_paper_formula():
+    s = Stream(data_seq(100), rate=1.0)
+    plan = s.handoff(n_children=4, fault_margin=1, delta=1.0)
+    # n_parts=5, interval=4: child rate = 1 * 5/(4*5) = 0.25
+    assert plan.child_rate == pytest.approx(5 / 20)
+    assert plan.assignments[0].rate == pytest.approx(5 / 20)
+    # parent's own remaining phase adopts the same rate after the mark
+    for _ in range(1):  # pop the kept head packet (delta*rate = 1)
+        s.pop_next()
+    assert s.current_rate == pytest.approx(5 / 20)
+
+
+def test_handoff_exhausted_returns_none():
+    s = Stream(data_seq(2), rate=1.0)
+    drain(s)
+    assert s.handoff(1, 0, 1.0) is None
+
+
+def test_handoff_everything_within_mark_returns_none():
+    """If delta*rate covers the whole remainder there is no tail to split."""
+    s = Stream(data_seq(3), rate=1.0)
+    assert s.handoff(1, 0, delta=10.0) is None
+    # stream unchanged
+    assert [p.seq for p in drain(s)] == [1, 2, 3]
+
+
+def test_handoff_validation():
+    s = Stream(data_seq(5), rate=1.0)
+    with pytest.raises(ValueError):
+        s.handoff(0, 0, 1.0)
+    with pytest.raises(ValueError):
+        s.handoff(2, 0, 1.0, own_index=3)
+
+
+def test_handoff_own_index_for_broadcast():
+    s = Stream(data_seq(20), rate=1.0)
+    plan = s.handoff(n_children=1, fault_margin=0, delta=3.0, own_index=1)
+    # parent keeps the odd part now; assignment 0 is division index 0
+    assert plan.assignments[0].index == 0
+    sent = drain(s)
+    assert [p.seq for p in sent[3:]] == [5, 7, 9, 11, 13, 15, 17, 19]
+
+
+def test_scale_rate():
+    s = Stream(data_seq(5), rate=2.0)
+    s.scale_rate(0.5)
+    assert s.current_rate == 1.0
+    with pytest.raises(ValueError):
+        s.scale_rate(0)
+
+
+def test_repeated_handoffs_compound():
+    s = Stream(data_seq(200), rate=1.0)
+    plan1 = s.handoff(1, 1, delta=2.0)
+    # pop past the head so the new phase's rate is active
+    for _ in range(2):
+        s.pop_next()
+    r1 = s.current_rate
+    plan2 = s.handoff(1, 1, delta=2.0)
+    assert plan2 is not None
+    assert plan2.child_rate == pytest.approx(r1 * 2 / 2)  # interval 1, parts 2
+    # data packets still partition across the parent and both children
+    # (parity packets with identical covers may recur across plans — same
+    # label, same payload — which the leaf's decoder dedups)
+    data_labels = [p.label for p in s.future_packets() if not p.is_parity]
+    for plan in (plan1, plan2):
+        for a in plan.assignments:
+            data_labels += [
+                p.label for p in a.build_plan() if not p.is_parity
+            ]
+    assert len(data_labels) == len(set(data_labels))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=120),
+    children=st.integers(min_value=1, max_value=6),
+    margin=st.integers(min_value=0, max_value=3),
+    delta=st.floats(min_value=0.5, max_value=20),
+    rate=st.floats(min_value=0.05, max_value=4),
+)
+def test_property_handoff_covers_all_data(n, children, margin, delta, rate):
+    """After any handoff, parent + children jointly cover every data seq."""
+    s = Stream(data_seq(n), rate=rate)
+    plan = s.handoff(children, margin, delta)
+    covered = set()
+    for p in s.future_packets():
+        covered |= p.covered_seqs()
+    if plan is not None:
+        for a in plan.assignments:
+            for p in a.build_plan():
+                covered |= p.covered_seqs()
+    assert covered == set(range(1, n + 1))

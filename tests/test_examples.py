@@ -1,0 +1,58 @@
+"""Every shipped example must run clean and print its headline output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "DCoP" in out and "TCoP" in out
+    assert "2 rounds" in out
+
+
+def test_movie_on_demand(capsys):
+    out = run_example("movie_on_demand.py", capsys)
+    assert "byte-exact verification  : PASS" in out
+    assert "delivery ratio           : 1.0000" in out
+
+
+def test_heterogeneous_peers(capsys):
+    out = run_example("heterogeneous_peers.py", capsys)
+    assert "CP1 (bw=4): t1 t2 t4 t5" in out
+    assert "VIOLATED" not in out
+
+
+def test_lossy_network(capsys):
+    out = run_example("lossy_network.py", capsys)
+    assert "parity delivery" in out
+    assert "10%" in out
+
+
+def test_protocol_shootout(capsys):
+    out = run_example("protocol_shootout.py", capsys)
+    assert "UnicastChain" in out
+    assert "Centralized" in out
+
+
+def test_coordination_trace(capsys):
+    out = run_example("coordination_trace.py", capsys)
+    assert "leaf (root)" in out
+    assert "round" in out
+
+
+def test_adaptive_streaming(capsys):
+    out = run_example("adaptive_streaming.py", capsys)
+    assert "speedup" in out
+    assert "helper recruited" in out
