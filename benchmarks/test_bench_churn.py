@@ -1,0 +1,57 @@
+"""Bench EX-L — delivery and detection latency vs churn rate.
+
+With the churn-tolerance stack active (heartbeat failure detection,
+reliable control plane, mid-stream re-coordination) both DCoP and TCoP
+should hold full delivery across increasing Poisson departure rates, with
+detection latency pinned near the detector's confirm threshold.
+"""
+
+from repro.experiments import run_churn
+from repro.streaming import DetectorPolicy
+
+
+def test_bench_churn(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_churn(
+            churn_rates=[0.0, 0.02, 0.05, 0.1],
+            n=20,
+            H=6,
+            content_packets=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.render())
+
+    dcop = series.series("dcop_delivery")
+    tcop = series.series("tcop_delivery")
+    # the whole point of the stack: churn does not dent delivery
+    assert all(v == 1.0 for v in dcop)
+    assert all(v == 1.0 for v in tcop)
+
+    # once churn actually kills peers, detection latency is reported.
+    # Two detection paths exist: heartbeat silence confirms within
+    # confirm_misses periods (+ slack), while a peer that dies before its
+    # first leaf contact is only caught when a sender's retry ladder
+    # gives up — bounded by the full exponential-backoff ladder.
+    pol = DetectorPolicy()
+    fast_path = pol.confirm_misses + 4
+    ladder = 2.5 * (2**5 - 1) * 1.25 + fast_path  # retx ladder + jitter
+    for col in ("dcop_detect_deltas", "tcop_detect_deltas"):
+        observed = [v for v in series.series(col) if v is not None]
+        assert observed, f"{col}: churn sweep never detected a crash"
+        assert all(0 < v <= ladder for v in observed)
+        # the heartbeat fast path dominates at least somewhere
+        assert min(observed) <= fast_path
+
+    # handoff (crash → residual re-flood) happens promptly after whichever
+    # detection path fired
+    for col in ("dcop_handoff_deltas", "tcop_handoff_deltas"):
+        for v in series.series(col):
+            if v is not None:
+                assert 0 < v <= ladder + 2
+
+    # the reliable control plane was exercised (5% control loss)
+    assert any(v > 0 for v in series.series("dcop_retx"))
+    assert any(v > 0 for v in series.series("tcop_retx"))

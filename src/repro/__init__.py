@@ -34,7 +34,10 @@ from repro.core import (
     UnicastChainCoordination,
 )
 from repro.media import MediaContent
+from repro.net.overlay import RetransmitPolicy
 from repro.streaming import (
+    ChurnPlan,
+    DetectorPolicy,
     FaultPlan,
     SessionResult,
     StreamingSession,
@@ -45,8 +48,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BroadcastCoordination",
     "CentralizedCoordination",
+    "ChurnPlan",
     "DCoP",
+    "DetectorPolicy",
     "FaultPlan",
+    "RetransmitPolicy",
     "MediaContent",
     "ProtocolConfig",
     "SessionResult",

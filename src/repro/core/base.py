@@ -239,5 +239,31 @@ class CoordinationProtocol(ABC):
         """Process a non-media message arriving at the leaf (TCoP confirms,
         centralized replies).  Default: ignore."""
 
+    def reissue(
+        self,
+        session: "StreamingSession",
+        failed: str,
+        assignments: dict,
+    ) -> None:
+        """Re-flood a confirmed-failed peer's residual to survivors.
+
+        ``assignments`` maps surviving peer ids to the residual
+        :class:`Assignment` each should take over.  The default sends
+        leaf-originated ``request`` packets — the activation path every
+        request/flooding protocol (DCoP and the baselines) already
+        implements, so an active receiver simply runs one more stream.
+        Tree protocols override this (TCoP re-attaches the orphaned
+        subtree and uses its ``start`` packets instead).
+        """
+        leaf_id = session.leaf.peer_id
+        view = frozenset(assignments)
+        for pid, assignment in assignments.items():
+            session.send_control(
+                leaf_id,
+                pid,
+                "request",
+                RequestMessage(leaf_id, view, assignment, hops=1),
+            )
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"

@@ -37,14 +37,11 @@ class CentralizedCoordination(CoordinationProtocol):
 
     def initiate(self, session: "StreamingSession") -> None:
         cfg = session.config
+        del cfg  # sizing handled by send_control
         controller = session.leaf_select(1)[0]
         session.protocol_state["controller"] = controller
-        session.overlay.send(
-            session.leaf.peer_id,
-            controller,
-            "request",
-            body=None,
-            size_bytes=cfg.control_size,
+        session.send_control(
+            session.leaf.peer_id, controller, "request", None
         )
 
     def handle_peer_message(self, agent: "ContentsPeerAgent", message) -> None:

@@ -81,14 +81,11 @@ class DCoP(CoordinationProtocol):
             assignment = Assignment(
                 basis=basis, n_parts=m, index=i, interval=interval, rate=rate
             )
-            session.overlay.send(
+            session.send_control(
                 session.leaf.peer_id,
                 pid,
                 "request",
-                body=RequestMessage(
-                    session.leaf.peer_id, view, assignment, hops=1
-                ),
-                size_bytes=cfg.control_size,
+                RequestMessage(session.leaf.peer_id, view, assignment, hops=1),
             )
 
     # ------------------------------------------------------------------

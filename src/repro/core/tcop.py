@@ -88,12 +88,11 @@ class TCoP(CoordinationProtocol):
             state[oid] = pending
             view = frozenset(selected)
             for pid in selected:
-                session.overlay.send(
+                session.send_control(
                     leaf_id,
                     pid,
                     "request",
-                    body=OfferMessage(leaf_id, view, oid, hops=base_hops + 1),
-                    size_bytes=cfg.control_size,
+                    OfferMessage(leaf_id, view, oid, hops=base_hops + 1),
                 )
             timeout = env.timeout(cfg.offer_timeout_deltas * cfg.delta)
             yield AnyOf(env, [pending["event"], timeout])
@@ -112,14 +111,11 @@ class TCoP(CoordinationProtocol):
             assignment = Assignment(
                 basis=basis, n_parts=n_parts, index=i, interval=interval, rate=rate
             )
-            session.overlay.send(
+            session.send_control(
                 leaf_id,
                 pid,
                 "start",
-                body=ControlMessage(
-                    leaf_id, view, assignment, hops=base_hops + 3
-                ),
-                size_bytes=cfg.control_size,
+                ControlMessage(leaf_id, view, assignment, hops=base_hops + 3),
             )
 
     def handle_leaf_message(self, session: "StreamingSession", message) -> None:
@@ -172,6 +168,27 @@ class TCoP(CoordinationProtocol):
         agent.merge_view(ctl.view)
         stream = agent.activate_with(ctl.assignment, hops=ctl.hops)
         agent.env.process(self._selection_loop(agent, stream, ctl.hops))
+
+    # ------------------------------------------------------------------
+    # mid-stream re-coordination
+    # ------------------------------------------------------------------
+    def reissue(self, session: "StreamingSession", failed: str, assignments) -> None:
+        """Hand the failed peer's residual to survivors as ``start``
+        packets (the leaf adopts them directly), and re-attach the
+        orphaned subtree: dormant peers still claimed by the dead parent
+        are released so another parent's offer can adopt them."""
+        for agent in session.peers.values():
+            if agent.parent == failed and not agent.active:
+                agent.parent = None
+        leaf_id = session.leaf.peer_id
+        view = frozenset(assignments)
+        for pid, assignment in assignments.items():
+            session.send_control(
+                leaf_id,
+                pid,
+                "start",
+                ControlMessage(leaf_id, view, assignment, hops=1),
+            )
 
     @staticmethod
     def _record_response(pending_map: dict, resp: ConfirmMessage) -> None:

@@ -12,6 +12,7 @@ from repro.experiments.fig11 import run_fig11, PAPER_FIG11_REFERENCE
 from repro.experiments.fig12 import run_fig12, PAPER_FIG12_REFERENCE
 from repro.experiments.ablations import (
     run_ams_overhead,
+    run_churn,
     run_fault_tolerance,
     run_hetero_flooding,
     run_heterogeneous,
@@ -29,6 +30,7 @@ __all__ = [
     "PAPER_FIG11_REFERENCE",
     "PAPER_FIG12_REFERENCE",
     "run_ams_overhead",
+    "run_churn",
     "run_fault_tolerance",
     "run_fig10",
     "run_fig11",

@@ -21,6 +21,10 @@
   peers recruit helpers via weighted handoffs.
 * EX-J :func:`run_receipt_capacity` — §3.1's leaf receipt capacity ρ_s:
   buffer overrun under broadcast vs DCoP.
+* EX-K :func:`run_hetero_flooding` — bandwidth-aware flooding
+  (HeteroDCoP) vs equal-split DCoP over uneven peers.
+* EX-L :func:`run_churn` — Poisson churn sweep with the full tolerance
+  stack (failure detection, reliable control plane, re-coordination).
 """
 
 from __future__ import annotations
@@ -591,4 +595,90 @@ def run_scaling(
             if label != "centralized":
                 row[f"{label}_ctrl"] = result.control_packets_total
         series.add(n, **row)
+    return series
+
+
+def run_churn(
+    churn_rates: Optional[Sequence[float]] = None,
+    n: int = 20,
+    H: int = 6,
+    content_packets: int = 300,
+    delta: float = 8.0,
+    control_loss: float = 0.05,
+    seed: int = 0,
+) -> SweepSeries:
+    """EX-L: streaming under churn — DCoP vs TCoP with the full
+    churn-tolerance stack.
+
+    Sweeps the Poisson departure rate (peers per δ across the overlay)
+    while heartbeat failure detection, the reliable control plane, and
+    mid-stream re-coordination are active, on top of ``control_loss``
+    Bernoulli loss on the coordination plane.  Reports per protocol the
+    delivery ratio, the mean crash→confirmation detection latency, the
+    mean crash→re-flood handoff latency (both in δ units), and the
+    control retransmission count.
+    """
+    from repro.net.loss import BernoulliLoss
+    from repro.net.overlay import RetransmitPolicy
+    from repro.streaming.detector import DetectorPolicy
+    from repro.streaming.faults import ChurnPlan
+
+    rates = (
+        list(churn_rates)
+        if churn_rates is not None
+        else [0.0, 0.02, 0.05, 0.1]
+    )
+    series = SweepSeries(
+        "churn_rate",
+        [
+            "dcop_delivery", "tcop_delivery",
+            "dcop_detect_deltas", "tcop_detect_deltas",
+            "dcop_handoff_deltas", "tcop_handoff_deltas",
+            "dcop_retx", "tcop_retx",
+        ],
+        title=(
+            f"EX-L — delivery and detection latency under churn "
+            f"(n={n}, H={H}, ctrl loss={control_loss:.0%})"
+        ),
+    )
+    min_live = max(2, n // 3)
+    for rate in rates:
+        row = {}
+        for label, cls in (("dcop", DCoP), ("tcop", TCoP)):
+            cfg = ProtocolConfig(
+                n=n,
+                H=H,
+                fault_margin=1,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            )
+            session = StreamingSession(
+                cfg,
+                cls(),
+                control_loss_factory=(
+                    (lambda: BernoulliLoss(control_loss))
+                    if control_loss
+                    else None
+                ),
+                retransmit_policy=RetransmitPolicy(),
+                detector_policy=DetectorPolicy(),
+                churn_plan=(
+                    ChurnPlan(rate_per_delta=rate, min_live=min_live)
+                    if rate > 0
+                    else None
+                ),
+            )
+            result = session.run()
+            det = result.mean_detection_latency
+            hand = result.mean_handoff_latency
+            row[f"{label}_delivery"] = round(result.delivery_ratio, 4)
+            row[f"{label}_detect_deltas"] = (
+                round(det / delta, 2) if det is not None else None
+            )
+            row[f"{label}_handoff_deltas"] = (
+                round(hand / delta, 2) if hand is not None else None
+            )
+            row[f"{label}_retx"] = result.total_retransmissions
+        series.add(rate, **row)
     return series

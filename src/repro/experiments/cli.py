@@ -8,6 +8,7 @@ import time
 
 from repro.experiments.ablations import (
     run_ams_overhead,
+    run_churn,
     run_fault_tolerance,
     run_hetero_flooding,
     run_heterogeneous,
@@ -49,6 +50,8 @@ def _figures(args) -> list[tuple[str, object]]:
         out.append(("EX-I", run_rate_adaptation()))
         out.append(("EX-J", run_receipt_capacity(seed=args.seed)))
         out.append(("EX-K", run_hetero_flooding()))
+        churn_kw = {"content_packets": 200} if args.quick else {}
+        out.append(("EX-L", run_churn(seed=args.seed, **churn_kw)))
     return out
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 
 @dataclass
@@ -21,6 +21,9 @@ class Message:
     kind: str
     body: Any = None
     size_bytes: int = 64
+    #: set by the reliable control plane: receivers ack this id, and
+    #: retransmitted copies reuse it so duplicates can be suppressed
+    msg_id: Optional[int] = None
     #: stamped by the channel on send / delivery
     sent_at: float = field(default=-1.0, compare=False)
     delivered_at: float = field(default=-1.0, compare=False)

@@ -1,7 +1,9 @@
-"""The overlay: nodes, lazily created channels, and traffic statistics."""
+"""The overlay: nodes, lazily created channels, traffic statistics, and
+the reliable control plane (ack + retransmit with backoff)."""
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
@@ -11,6 +13,7 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel, NoLoss
 from repro.net.message import Message
 from repro.net.node import Node
+from repro.sim.events import AnyOf
 from repro.sim.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,6 +27,13 @@ class TrafficStats:
     sent_by_kind: Counter = field(default_factory=Counter)
     delivered_by_kind: Counter = field(default_factory=Counter)
     dropped_by_kind: Counter = field(default_factory=Counter)
+    #: retransmitted copies issued by the reliable control plane (each is
+    #: also counted in ``sent_by_kind`` — the wire carried it)
+    retransmissions_by_kind: Counter = field(default_factory=Counter)
+    #: reliable sends abandoned after the retry budget ran out
+    give_ups_by_kind: Counter = field(default_factory=Counter)
+    #: duplicate reliable deliveries suppressed at the receiver
+    duplicates_suppressed_by_kind: Counter = field(default_factory=Counter)
     #: (kind, time) log of sends for round analysis; cheap append-only list
     send_log: list = field(default_factory=list)
 
@@ -36,6 +46,129 @@ class TrafficStats:
     def control_packets(self, kinds: Tuple[str, ...] = ("request", "control", "confirm", "reject", "start")) -> int:
         """Total coordination traffic (everything that is not media)."""
         return sum(self.sent_by_kind[k] for k in kinds)
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Retry budget + exponential backoff for reliable control sends.
+
+    A reliable send waits ``ack_timeout_deltas`` δ for an ack, then
+    retransmits (same ``msg_id``) up to ``max_retries`` times; each wait is
+    ``backoff`` times the previous one, stretched by a uniform jitter in
+    ``[0, jitter]`` drawn from the session's deterministic RNG streams so
+    identical seeds replay identically.
+    """
+
+    max_retries: int = 4
+    ack_timeout_deltas: float = 2.5
+    backoff: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_timeout_deltas <= 0:
+            raise ValueError("ack_timeout_deltas must be positive")
+        if self.backoff < 1:
+            raise ValueError("backoff must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+
+class ControlPlane:
+    """Ack/retransmit wrapper over :meth:`Overlay.send` for control traffic.
+
+    Any message kind can be sent reliably: the receiver acks the carried
+    ``msg_id`` (and suppresses duplicates), the sender retransmits on ack
+    timeout with exponential backoff + jitter, and gives up after the retry
+    budget — reporting the destination through ``on_give_up`` so failure
+    detection can treat an unreachable peer as crashed.  Media packets stay
+    fire-and-forget; only coordination uses this path.
+    """
+
+    ACK_SIZE = 32
+
+    def __init__(
+        self,
+        overlay: "Overlay",
+        policy: RetransmitPolicy,
+        delta: float,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.overlay = overlay
+        self.policy = policy
+        self.delta = delta
+        self.env = overlay.env
+        self._ids = itertools.count(1)
+        #: msg_id -> ack event of in-flight reliable sends
+        self._pending: Dict[int, object] = {}
+        #: msg_ids already delivered to a handler (duplicate suppression)
+        self._seen: set[int] = set()
+        self._rng = overlay.streams.get("retx/jitter")
+        #: callback(src, dst, kind, body) fired when a send is abandoned
+        self.on_give_up: Optional[Callable[[str, str, str, object], None]] = None
+
+    # ------------------------------------------------------------------
+    def send(
+        self, src: str, dst: str, kind: str, body=None, size_bytes: int = 64
+    ) -> None:
+        """Send ``kind`` reliably; retransmits run as their own process."""
+        mid = next(self._ids)
+        acked = self.env.event()
+        self._pending[mid] = acked
+        self.overlay.send(src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid)
+        self.env.process(self._retry_loop(mid, acked, src, dst, kind, body, size_bytes))
+
+    def _retry_loop(self, mid, acked, src, dst, kind, body, size_bytes):
+        pol = self.policy
+        wait = pol.ack_timeout_deltas * self.delta
+        for _attempt in range(pol.max_retries + 1):
+            jittered = wait * (1.0 + pol.jitter * float(self._rng.random()))
+            yield AnyOf(self.env, [acked, self.env.timeout(jittered)])
+            if acked.triggered:
+                return
+            if self.overlay.nodes[src].down:
+                # a dead sender retries nothing
+                self._pending.pop(mid, None)
+                return
+            if _attempt == pol.max_retries:
+                break
+            self.overlay.traffic.retransmissions_by_kind[kind] += 1
+            self.overlay.send(
+                src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid
+            )
+            wait *= pol.backoff
+        self._pending.pop(mid, None)
+        self.overlay.traffic.give_ups_by_kind[kind] += 1
+        if self.on_give_up is not None:
+            self.on_give_up(src, dst, kind, body)
+
+    # ------------------------------------------------------------------
+    def intercept(self, message: Message) -> bool:
+        """Receiver-side hook; agents call this before handling a message.
+
+        Returns True when the message is consumed by the control plane (an
+        ack, or a duplicate of an already-delivered reliable message).
+        Acks any reliable message — including duplicates, whose earlier ack
+        may have been the lost copy.
+        """
+        if message.kind == "ack":
+            acked = self._pending.pop(message.body, None)
+            if acked is not None and not acked.triggered:
+                acked.succeed()
+            return True
+        if message.msg_id is None:
+            return False
+        self.overlay.send(
+            message.dst, message.src, "ack",
+            body=message.msg_id, size_bytes=self.ACK_SIZE,
+        )
+        if message.msg_id in self._seen:
+            self.overlay.traffic.duplicates_suppressed_by_kind[message.kind] += 1
+            return True
+        self._seen.add(message.msg_id)
+        return False
 
 
 class Overlay:
@@ -55,6 +188,7 @@ class Overlay:
         default_loss_factory: Optional[Callable[[], LossModel]] = None,
         bandwidth_bytes_per_ms: Optional[float] = None,
         latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
+        control_loss_factory: Optional[Callable[[], LossModel]] = None,
     ) -> None:
         self.env = env
         self.streams = streams if streams is not None else RandomStreams(0)
@@ -65,12 +199,17 @@ class Overlay:
         #: lets sessions model heterogeneous per-link delays
         self.latency_factory = latency_factory
         self.default_loss_factory = default_loss_factory or NoLoss
+        #: extra loss applied to non-media ("control") messages only, one
+        #: stateful model per directed pair — lets experiments stress the
+        #: coordination plane while the data plane stays clean
+        self.control_loss_factory = control_loss_factory
         self.bandwidth = bandwidth_bytes_per_ms
         self.nodes: Dict[str, Node] = {}
         self.channels: Dict[Tuple[str, str], Channel] = {}
         self.traffic = TrafficStats()
         #: optional per-pair overrides installed with configure_channel()
         self._overrides: Dict[Tuple[str, str], dict] = {}
+        self._control_loss: Dict[Tuple[str, str], LossModel] = {}
 
     # ------------------------------------------------------------------
     # topology
@@ -130,6 +269,17 @@ class Overlay:
     # ------------------------------------------------------------------
     # traffic
     # ------------------------------------------------------------------
+    def _control_drops(self, src: str, dst: str) -> bool:
+        """Sample the control-plane loss process for one message."""
+        if self.control_loss_factory is None:
+            return False
+        key = (src, dst)
+        model = self._control_loss.get(key)
+        if model is None:
+            model = self.control_loss_factory()
+            self._control_loss[key] = model
+        return model.drops(self.streams.get(f"ctrl-loss/{src}->{dst}"))
+
     def send(
         self,
         src: str,
@@ -137,16 +287,26 @@ class Overlay:
         kind: str,
         body=None,
         size_bytes: int = 64,
+        msg_id: Optional[int] = None,
     ) -> Message:
         """Send one message and account for it globally."""
         if self.nodes[src].down:
             # A crashed peer sends nothing; account as a suppressed send.
             self.traffic.dropped_by_kind[kind] += 1
-            msg = Message(src=src, dst=dst, kind=kind, body=body, size_bytes=size_bytes)
+            msg = Message(
+                src=src, dst=dst, kind=kind, body=body,
+                size_bytes=size_bytes, msg_id=msg_id,
+            )
             return msg
-        msg = Message(src=src, dst=dst, kind=kind, body=body, size_bytes=size_bytes)
+        msg = Message(
+            src=src, dst=dst, kind=kind, body=body,
+            size_bytes=size_bytes, msg_id=msg_id,
+        )
         self.traffic.sent_by_kind[kind] += 1
         self.traffic.send_log.append((kind, self.env.now, src, dst))
+        if kind != "packet" and self._control_drops(src, dst):
+            self.traffic.dropped_by_kind[kind] += 1
+            return msg
         ch = self.channel(src, dst)
         before_drop = ch.stats.dropped
         ch.send(msg)

@@ -10,7 +10,10 @@
 * :class:`StreamingSession` — builds the whole simulated system from a
   :class:`~repro.core.ProtocolConfig` and runs it to produce a
   :class:`SessionResult`.
-* :mod:`repro.streaming.faults` — crash / rate-degradation injection.
+* :mod:`repro.streaming.faults` — crash / rate-degradation / churn
+  injection.
+* :mod:`repro.streaming.detector` — leaf-side heartbeat failure detector.
+* :mod:`repro.streaming.recoordination` — mid-stream residual re-flooding.
 """
 
 from repro.streaming.stream import Phase, Stream, HandoffPlan
@@ -18,7 +21,15 @@ from repro.streaming.buffer import BufferEvent, PlaybackBuffer
 from repro.streaming.contents_peer import ContentsPeerAgent
 from repro.streaming.leaf_peer import LeafPeerAgent
 from repro.streaming.session import SessionResult, StreamingSession
-from repro.streaming.faults import CrashFault, DegradeFault, FaultPlan
+from repro.streaming.faults import (
+    ChurnEvent,
+    ChurnPlan,
+    CrashFault,
+    DegradeFault,
+    FaultPlan,
+)
+from repro.streaming.detector import DetectorPolicy, FailureDetector, Heartbeat
+from repro.streaming.recoordination import HandoffRecord, ReCoordinator
 from repro.streaming.repair import RepairMonitor, RepairPolicy, RepairRequest
 from repro.streaming.adaptive import (
     AdaptRequest,
@@ -31,14 +42,21 @@ __all__ = [
     "BufferEvent",
     "RateAdaptationMonitor",
     "RateAdaptationPolicy",
+    "ChurnEvent",
+    "ChurnPlan",
     "ContentsPeerAgent",
     "CrashFault",
     "DegradeFault",
+    "DetectorPolicy",
+    "FailureDetector",
     "FaultPlan",
     "HandoffPlan",
+    "HandoffRecord",
+    "Heartbeat",
     "LeafPeerAgent",
     "Phase",
     "PlaybackBuffer",
+    "ReCoordinator",
     "RepairMonitor",
     "RepairPolicy",
     "RepairRequest",

@@ -43,6 +43,9 @@ class ContentsPeerAgent:
         self._phase_rng = session.streams.get(f"phase/{peer_id}")
         #: uplink capacity in packets/ms; None = unlimited (§5 hetero env)
         self.capacity = session.peer_capacities.get(peer_id)
+        #: bumped on rejoin so loops started before a crash stay dead
+        self._epoch = 0
+        self._heartbeat_running = False
 
     # ------------------------------------------------------------------
     # basics
@@ -62,6 +65,8 @@ class ContentsPeerAgent:
     def _on_deliver(self, message: Message) -> None:
         if self.node.down:  # defensive; Node already filters
             return  # pragma: no cover
+        if self.session.intercept_control(message):
+            return  # ack, or duplicate of a retransmitted control message
         if message.kind == "repair":
             # repair is protocol-agnostic (see repro.streaming.repair)
             from repro.streaming.repair import serve_repair
@@ -120,9 +125,16 @@ class ContentsPeerAgent:
     def add_stream(self, stream: Stream) -> None:
         self.streams.append(stream)
         if not stream.exhausted:
-            self.env.process(self._transmit_loop(stream))
+            self.env.process(self._transmit_loop(stream, self._epoch))
+        if (
+            self.session.detector is not None
+            and self.active
+            and not self._heartbeat_running
+        ):
+            self._heartbeat_running = True
+            self.env.process(self._heartbeat_loop(self._epoch))
 
-    def _transmit_loop(self, stream: Stream):
+    def _transmit_loop(self, stream: Stream, epoch: int):
         """Pace packets of one stream to the leaf.
 
         The rate is re-read every iteration so handoffs (which mutate the
@@ -143,7 +155,7 @@ class ContentsPeerAgent:
                 period *= float(self._phase_rng.random())
                 first = False
             yield self.env.timeout(period)
-            if self.node.down:
+            if self.node.down or epoch != self._epoch:
                 return
             pkt = stream.pop_next()
             if pkt is None:
@@ -155,6 +167,74 @@ class ContentsPeerAgent:
                 body=pkt,
                 size_bytes=cfg.packet_size,
             )
+
+    # ------------------------------------------------------------------
+    # liveness (failure-detector support)
+    # ------------------------------------------------------------------
+    def residual_data_seqs(self) -> set[int]:
+        """Data sequence numbers still in this peer's unexhausted streams."""
+        out: set[int] = set()
+        for stream in self.streams:
+            if stream.exhausted:
+                continue
+            for pkt in stream.future_packets():
+                if not pkt.is_parity:
+                    out.add(pkt.label)
+        return out
+
+    def _heartbeat_loop(self, epoch: int):
+        """Emit periodic heartbeats to the leaf while this peer owes data.
+
+        Each heartbeat carries the residual (the paper's ``SEQ_j`` tail as
+        labels), so the leaf can re-coordinate it if this peer dies; the
+        final heartbeat reports ``done`` and ends the leaf's expectations.
+        Heartbeats are fire-and-forget — losing one only costs detection
+        sharpness, never correctness.
+        """
+        from repro.streaming.detector import Heartbeat
+
+        session = self.session
+        leaf_id = session.leaf.peer_id
+        period = session.detector.period
+        try:
+            while not self.node.down and epoch == self._epoch:
+                pending = self.residual_data_seqs()
+                session.overlay.send(
+                    self.peer_id,
+                    leaf_id,
+                    "heartbeat",
+                    body=Heartbeat(
+                        self.peer_id, tuple(sorted(pending)), done=not pending
+                    ),
+                    size_bytes=32,
+                )
+                if not pending:
+                    return
+                yield self.env.timeout(period)
+        finally:
+            self._heartbeat_running = False
+
+    def rejoin(self) -> None:
+        """Crash-recover: come back up and resume the unsent residual.
+
+        The peer's stream state survives (stable storage); transmit loops
+        died with the crash, so fresh ones are started under a new epoch —
+        any loop from before the crash exits on its next tick.
+        """
+        if not self.node.down:
+            return
+        self.node.recover()
+        self._epoch += 1
+        for stream in self.streams:
+            if not stream.exhausted:
+                self.env.process(self._transmit_loop(stream, self._epoch))
+        if (
+            self.session.detector is not None
+            and self.active
+            and not self._heartbeat_running
+        ):
+            self._heartbeat_running = True
+            self.env.process(self._heartbeat_loop(self._epoch))
 
     def _effective_rate(self, stream: Stream) -> float:
         """Assigned rate, throttled by the peer's uplink capacity.
@@ -189,10 +269,9 @@ class ContentsPeerAgent:
     # outbound control traffic
     # ------------------------------------------------------------------
     def send_control(self, dst: str, kind: str, body) -> None:
-        self.session.overlay.send(
-            self.peer_id, dst, kind, body=body,
-            size_bytes=self.session.config.control_size,
-        )
+        """Send coordination traffic — reliably when the session has a
+        retransmit policy, fire-and-forget otherwise."""
+        self.session.send_control(self.peer_id, dst, kind, body)
 
     def __repr__(self) -> str:
         return (

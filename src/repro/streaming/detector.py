@@ -1,0 +1,250 @@
+"""Heartbeat-based failure detection at the leaf.
+
+The paper's reliability claim (§1) needs more than parity: a crashed
+contents peer leaves its unsent residual behind, and nobody in the seed
+protocols *notices*.  This module closes the detection half of the
+detect → retransmit → re-coordinate loop:
+
+* every active contents peer emits a periodic ``heartbeat`` to the leaf
+  carrying the data sequence numbers it still owes (its *pending* set) —
+  and any message arriving at the leaf (media packets included) counts as
+  implicit liveness, so heartbeats mostly piggyback on the stream;
+* the leaf-side :class:`FailureDetector` declares a peer *suspected* after
+  ``suspect_misses`` heartbeat periods of silence and *confirmed* failed
+  after ``confirm_misses`` periods; confirmation triggers re-coordination
+  (see :mod:`repro.streaming.recoordination`);
+* the reliable control plane reports unreachable destinations
+  (:meth:`FailureDetector.report_unreachable`), so a peer that dies before
+  ever contacting the leaf is still detected;
+* detection latency (vs the ground-truth crash instant) and false
+  suspicions are recorded into :class:`~repro.streaming.session.SessionResult`.
+
+Timeouts are expressed in heartbeat periods, themselves in δ units, so the
+detector scales with the control-latency regime like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import StreamingSession
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Body of a ``heartbeat`` message.
+
+    ``pending`` is the sender's residual: data sequence numbers still in
+    its unexhausted streams.  ``done`` marks the final heartbeat of a peer
+    whose streams have drained — the leaf stops expecting it afterwards.
+    """
+
+    sender: str
+    pending: Tuple[int, ...]
+    done: bool = False
+
+
+@dataclass(frozen=True)
+class DetectorPolicy:
+    """Tuning knobs for the leaf's failure detector."""
+
+    #: heartbeat emission / detector check period, in δ units
+    heartbeat_period_deltas: float = 1.0
+    #: silent periods before a peer is *suspected*
+    suspect_misses: int = 3
+    #: silent periods before a suspect is *confirmed* (≥ suspect_misses)
+    confirm_misses: int = 6
+    #: detector shuts down after this long without any leaf contact, in δ
+    #: units (bounds the simulation when the whole overlay has died)
+    idle_grace_deltas: float = 20.0
+    #: confirmed failures trigger mid-stream re-coordination
+    recoordinate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period_deltas <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.suspect_misses < 1:
+            raise ValueError("suspect_misses must be >= 1")
+        if self.confirm_misses < self.suspect_misses:
+            raise ValueError("confirm_misses must be >= suspect_misses")
+        if self.idle_grace_deltas <= 0:
+            raise ValueError("idle_grace_deltas must be positive")
+
+
+@dataclass
+class PeerHealth:
+    """What the leaf knows about one monitored contents peer."""
+
+    last_heard: float
+    #: residual reported by the peer's most recent heartbeat
+    pending: Set[int] = field(default_factory=set)
+    #: residual the *leaf* attributes to the peer (assignments it issued or
+    #: saw abandoned by the control plane); never shrinks — the held-set
+    #: subtraction at re-coordination time keeps it honest
+    noted: Set[int] = field(default_factory=set)
+    done: bool = False
+    suspected_at: Optional[float] = None
+    confirmed_at: Optional[float] = None
+
+    @property
+    def suspected(self) -> bool:
+        return self.suspected_at is not None
+
+    @property
+    def confirmed(self) -> bool:
+        return self.confirmed_at is not None
+
+
+class FailureDetector:
+    """Leaf-side heartbeat monitor with a two-level suspect/confirm state."""
+
+    def __init__(self, session: "StreamingSession", policy: DetectorPolicy) -> None:
+        self.session = session
+        self.policy = policy
+        self.period = policy.heartbeat_period_deltas * session.config.delta
+        self.monitored: Dict[str, PeerHealth] = {}
+        self.false_suspicions = 0
+        #: peer -> confirm latency in ms measured against the ground-truth
+        #: crash instant (absent for false confirmations)
+        self.detection_latencies: Dict[str, float] = {}
+        #: callback fired once per confirmed failure
+        self.on_confirm: Optional[Callable[[str], None]] = None
+        self._last_contact = session.env.now
+        session.env.process(self._run())
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    @property
+    def suspects(self) -> Set[str]:
+        """Peers currently suspected or confirmed failed."""
+        return {
+            pid for pid, st in self.monitored.items()
+            if st.suspected or st.confirmed
+        }
+
+    @property
+    def confirmed_failures(self) -> Set[str]:
+        return {pid for pid, st in self.monitored.items() if st.confirmed}
+
+    def residual_of(self, peer_id: str) -> Set[int]:
+        """Data seqs the peer still owed that the leaf does not hold."""
+        st = self.monitored.get(peer_id)
+        if st is None:
+            return set()
+        decoder = self.session.leaf.decoder
+        return {
+            seq for seq in (st.pending | st.noted)
+            if 1 <= seq <= decoder.n_packets and not decoder.has_data(seq)
+        }
+
+    # ------------------------------------------------------------------
+    # event feeds
+    # ------------------------------------------------------------------
+    def _entry(self, peer_id: str) -> Optional[PeerHealth]:
+        if peer_id not in self.session.peers:
+            return None
+        st = self.monitored.get(peer_id)
+        if st is None:
+            st = PeerHealth(last_heard=self.session.env.now)
+            self.monitored[peer_id] = st
+        return st
+
+    def touch(self, peer_id: str) -> None:
+        """Any message from ``peer_id`` reached the leaf: it is alive."""
+        st = self._entry(peer_id)
+        if st is None:
+            return
+        now = self.session.env.now
+        self._last_contact = now
+        st.last_heard = now
+        if st.suspected and not st.confirmed:
+            # contact resumed before confirmation: clear the suspicion
+            st.suspected_at = None
+        if st.confirmed:
+            # a confirmed peer speaking again has rejoined (or the
+            # confirmation was premature): resume monitoring it
+            st.confirmed_at = None
+            st.suspected_at = None
+
+    def on_heartbeat(self, hb: Heartbeat) -> None:
+        st = self._entry(hb.sender)
+        if st is None:
+            return
+        st.pending = set(hb.pending)
+        st.done = hb.done and not hb.pending
+
+    def expect(self, peer_id: str, seqs) -> None:
+        """The leaf issued (or saw abandoned) an assignment toward the
+        peer: monitor it and remember the residual it now owes."""
+        st = self._entry(peer_id)
+        if st is None:
+            return
+        st.noted.update(seqs)
+        st.done = False
+
+    def report_unreachable(self, peer_id: str) -> None:
+        """The control plane exhausted its retries toward ``peer_id``."""
+        st = self._entry(peer_id)
+        if st is None or st.confirmed:
+            return
+        if not st.suspected:
+            self._suspect(peer_id, st)
+        self._confirm(peer_id, st)
+
+    # ------------------------------------------------------------------
+    # detection loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        session = self.session
+        env = session.env
+        pol = self.policy
+        decoder = session.leaf.decoder
+        idle_grace = max(
+            pol.idle_grace_deltas * session.config.delta,
+            (pol.confirm_misses + 2) * self.period,
+        )
+        while True:
+            yield env.timeout(self.period)
+            now = env.now
+            watching = False
+            # snapshot: a confirmation callback may register fresh
+            # expectations (new monitored entries) mid-iteration
+            for pid, st in list(self.monitored.items()):
+                if st.done or st.confirmed:
+                    continue
+                watching = True
+                silent = now - st.last_heard
+                if not st.suspected and silent >= pol.suspect_misses * self.period:
+                    self._suspect(pid, st)
+                if st.suspected and silent >= pol.confirm_misses * self.period:
+                    self._confirm(pid, st)
+            if decoder.complete:
+                return
+            if not watching and now - self._last_contact >= idle_grace:
+                return
+
+    def _suspect(self, peer_id: str, st: PeerHealth) -> None:
+        st.suspected_at = self.session.env.now
+        if not self.session.peers[peer_id].crashed:
+            # ground truth (simulator oracle, metrics only): the peer is
+            # actually up — a slow or silent-but-alive peer was accused
+            self.false_suspicions += 1
+
+    def _confirm(self, peer_id: str, st: PeerHealth) -> None:
+        now = self.session.env.now
+        st.confirmed_at = now
+        crash_at = self.session.crash_time_of(peer_id)
+        if crash_at is not None:
+            self.detection_latencies[peer_id] = now - crash_at
+        if self.on_confirm is not None:
+            self.on_confirm(peer_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureDetector {len(self.monitored)} monitored, "
+            f"{len(self.suspects)} suspect, "
+            f"{len(self.confirmed_failures)} confirmed>"
+        )

@@ -1,16 +1,19 @@
-"""Fault injection: peer crashes and rate degradation.
+"""Fault injection: peer crashes, rate degradation, and churn.
 
 §1 motivates the MSS model with "even if some peer stops by fault and is
 degraded in performance … a requesting leaf peer receives every data of a
 content".  A :class:`FaultPlan` schedules :class:`CrashFault` /
 :class:`DegradeFault` instances against a running session so that claim can
-be tested and benchmarked.
+be tested and benchmarked; a :class:`ChurnPlan` drives *ongoing* membership
+dynamics — Poisson departures, optional crash-recover/rejoin, and
+correlated crash storms — for stress-testing the failure detector and
+mid-stream re-coordination.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.session import StreamingSession
@@ -60,7 +63,20 @@ class FaultPlan:
         return self
 
     def install(self, session: "StreamingSession") -> None:
-        """Schedule every fault as a simulation process."""
+        """Schedule every fault as a simulation process.
+
+        Targets are validated against the session's peer set up front —
+        a typo'd ``peer_id`` fails here, at install time, instead of as a
+        ``KeyError`` deep inside the event loop when the fault fires.
+        """
+        known = set(session.peers)
+        for fault in [*self.crashes, *self.degradations]:
+            if fault.peer_id not in known:
+                raise ValueError(
+                    f"fault targets unknown peer {fault.peer_id!r} "
+                    f"(session has {len(known)} peers: "
+                    f"CP1..CP{len(known)})"
+                )
         for fault in self.crashes:
             session.env.process(self._run_crash(session, fault))
         for fault in self.degradations:
@@ -80,3 +96,157 @@ class FaultPlan:
             if not stream.exhausted:
                 stream.scale_rate(fault.factor)
         session.faults_fired.append(fault)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change driven by a :class:`ChurnPlan` (for logs)."""
+
+    kind: str  #: "crash" or "rejoin"
+    peer_id: str
+    at: float
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """Ongoing membership dynamics for one session.
+
+    Departures form a Poisson process: inter-departure gaps are drawn
+    from Exp(``rate_per_delta``) in δ units off the session's dedicated
+    ``churn/plan`` random stream, so two sessions with equal seeds and
+    equal plans observe byte-identical churn.  Each departed peer
+    optionally crash-recovers after an Exp(``mean_downtime_deltas``)
+    downtime (state survives: it resumes its unsent residual).  An
+    optional *storm* crashes ``storm_size`` peers simultaneously at
+    ``storm_at`` — the correlated-failure case parity margins are sized
+    for.
+
+    The driver is self-terminating: it stops at a finite horizon
+    (``stop_deltas`` after start, defaulting to three nominal content
+    durations) and as soon as the leaf holds the full content, so
+    ``env.run(until=None)`` always returns.  ``min_live`` peers are
+    never taken down (the chaos invariant "≥ 1 survivor" needs a
+    survivor to exist).
+    """
+
+    #: expected departures per δ across the whole overlay (Poisson rate)
+    rate_per_delta: float = 0.02
+    #: departed peers come back after an exponential downtime
+    rejoin: bool = True
+    mean_downtime_deltas: float = 10.0
+    #: instant (ms) of a correlated crash storm; None = no storm
+    storm_at: Optional[float] = None
+    storm_size: int = 0
+    #: churn starts this many δ after t=0
+    start_deltas: float = 0.0
+    #: churn horizon in δ after start; None = 3× the nominal content
+    #: duration (l/τ) — a finite default so runs always terminate
+    stop_deltas: Optional[float] = None
+    #: never reduce the live population below this
+    min_live: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_per_delta < 0:
+            raise ValueError("rate_per_delta must be non-negative")
+        if self.mean_downtime_deltas <= 0:
+            raise ValueError("mean_downtime_deltas must be positive")
+        if self.storm_size < 0:
+            raise ValueError("storm_size must be non-negative")
+        if self.start_deltas < 0:
+            raise ValueError("start_deltas must be non-negative")
+        if self.stop_deltas is not None and self.stop_deltas <= 0:
+            raise ValueError("stop_deltas must be positive")
+        if self.min_live < 1:
+            raise ValueError("min_live must be >= 1")
+
+    # ------------------------------------------------------------------
+    def install(self, session: "StreamingSession") -> None:
+        if self.rate_per_delta > 0:
+            session.env.process(self._run(session))
+        if self.storm_at is not None and self.storm_size > 0:
+            session.env.process(self._run_storm(session))
+
+    def _horizon(self, session: "StreamingSession") -> float:
+        cfg = session.config
+        start = self.start_deltas * cfg.delta
+        if self.stop_deltas is not None:
+            return start + self.stop_deltas * cfg.delta
+        return start + 3.0 * cfg.content_packets / cfg.tau
+
+    def _run(self, session: "StreamingSession"):
+        cfg = session.config
+        rng = session.streams.get("churn/plan")
+        horizon = self._horizon(session)
+        start = self.start_deltas * cfg.delta
+        if start > 0:
+            yield session.env.timeout(start)
+        while True:
+            gap = float(rng.exponential(1.0 / self.rate_per_delta))
+            yield session.env.timeout(gap * cfg.delta)
+            if session.env.now >= horizon or session.leaf.decoder.complete:
+                return
+            victim = self._pick_victim(session, rng)
+            if victim is None:
+                continue
+            self._crash(session, victim)
+            if self.rejoin:
+                downtime = (
+                    float(rng.exponential(self.mean_downtime_deltas))
+                    * cfg.delta
+                )
+                session.env.process(
+                    self._rejoin_later(session, victim, downtime)
+                )
+
+    def _run_storm(self, session: "StreamingSession"):
+        yield session.env.timeout(self.storm_at)
+        rng = session.streams.get("churn/storm")
+        live = [
+            pid for pid in session.peer_ids
+            if not session.peers[pid].crashed
+        ]
+        k = min(self.storm_size, max(0, len(live) - self.min_live))
+        if k <= 0:
+            return
+        picked = rng.choice(len(live), size=k, replace=False)
+        for i in sorted(picked):
+            victim = live[i]
+            self._crash(session, victim)
+            if self.rejoin:
+                downtime = (
+                    float(rng.exponential(self.mean_downtime_deltas))
+                    * session.config.delta
+                )
+                session.env.process(
+                    self._rejoin_later(session, victim, downtime)
+                )
+
+    # ------------------------------------------------------------------
+    def _pick_victim(self, session: "StreamingSession", rng) -> Optional[str]:
+        live = [
+            pid for pid in session.peer_ids
+            if not session.peers[pid].crashed
+        ]
+        if len(live) <= self.min_live:
+            return None
+        return live[int(rng.integers(len(live)))]
+
+    @staticmethod
+    def _crash(session: "StreamingSession", victim: str) -> None:
+        session.peers[victim].node.crash()
+        session.faults_fired.append(
+            ChurnEvent("crash", victim, session.env.now)
+        )
+
+    @staticmethod
+    def _rejoin_later(session: "StreamingSession", victim: str, downtime: float):
+        yield session.env.timeout(downtime)
+        if session.leaf.decoder.complete:
+            return  # run is over; a rejoin would only add idle processes
+        agent = session.peers[victim]
+        if not agent.crashed:
+            return  # already recovered by some other path
+        agent.rejoin()
+        session.faults_fired.append(
+            ChurnEvent("rejoin", victim, session.env.now)
+        )

@@ -67,7 +67,17 @@ class LeafPeerAgent:
 
     # ------------------------------------------------------------------
     def _on_deliver(self, message: Message) -> None:
+        detector = self.session.detector
+        if detector is not None and message.src in self.session.peers:
+            # anything a peer sends us — media included — proves it alive
+            detector.touch(message.src)
         if message.kind != "packet":
+            if self.session.intercept_control(message):
+                return  # ack, or duplicate of a retransmitted message
+            if message.kind == "heartbeat":
+                if detector is not None:
+                    detector.on_heartbeat(message.body)
+                return
             self.session.protocol.handle_leaf_message(self.session, message)
             return
         now = self.env.now

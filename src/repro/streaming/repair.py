@@ -111,6 +111,15 @@ class RepairMonitor:
             return
         self.rounds_issued += 1
         peers = session.peer_ids
+        if session.detector is not None:
+            # skip peers the failure detector already considers dead —
+            # requests to them are silence by construction.  Fall back to
+            # the full list if suspicion covers everyone (a false mass
+            # suspicion must not starve repair entirely).
+            suspects = session.detector.suspects
+            filtered = [p for p in peers if p not in suspects]
+            if filtered:
+                peers = filtered
         k = min(self.policy.fanout, len(peers))
         picked = self._rng.choice(len(peers), size=k, replace=False)
         targets = [peers[i] for i in sorted(picked)]

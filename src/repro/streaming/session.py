@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -13,12 +13,15 @@ from repro.core.base import CoordinationProtocol, ProtocolConfig
 from repro.media.content import MediaContent
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel
-from repro.net.overlay import Overlay
+from repro.net.message import Message
+from repro.net.overlay import ControlPlane, Overlay, RetransmitPolicy
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.streaming.contents_peer import ContentsPeerAgent
-from repro.streaming.faults import FaultPlan
+from repro.streaming.detector import DetectorPolicy, FailureDetector
+from repro.streaming.faults import ChurnPlan, FaultPlan
 from repro.streaming.leaf_peer import LeafPeerAgent
+from repro.streaming.recoordination import ReCoordinator, data_seqs_of
 
 
 @dataclass
@@ -51,10 +54,40 @@ class SessionResult:
     receive_overruns: int
     completed_at: Optional[float]
     elapsed: float
+    # --- churn-tolerance metrics (defaults keep older call sites valid) ---
+    #: control-plane retransmissions per message kind (empty without a
+    #: retransmit policy)
+    retransmissions_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: messages the control plane abandoned after exhausting retries
+    retransmit_give_ups: int = 0
+    #: duplicate control deliveries suppressed by msg-id dedup
+    duplicates_suppressed: int = 0
+    #: peers suspected (or confirmed) failed at collection time
+    suspected_peers: List[str] = field(default_factory=list)
+    confirmed_failures: List[str] = field(default_factory=list)
+    #: suspicions raised against peers that were actually alive
+    false_suspicions: int = 0
+    #: peer -> ms from ground-truth crash to detector confirmation
+    detection_latencies: Dict[str, float] = field(default_factory=dict)
+    #: residual re-floods performed by the leaf
+    recoordinations: int = 0
+    #: mean ms from ground-truth crash to residual re-flood, when any
+    mean_handoff_latency: Optional[float] = None
 
     @property
     def all_active(self) -> bool:
         return self.sync_time is not None
+
+    @property
+    def mean_detection_latency(self) -> Optional[float]:
+        if not self.detection_latencies:
+            return None
+        values = list(self.detection_latencies.values())
+        return sum(values) / len(values)
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(self.retransmissions_by_kind.values())
 
     def summary(self) -> str:
         return (
@@ -96,6 +129,10 @@ class StreamingSession:
         leaf_receipt_rate: Optional[float] = None,
         leaf_receive_buffer: float = 64.0,
         peer_capacities: Optional[Dict[str, float]] = None,
+        control_loss_factory: Optional[Callable[[], LossModel]] = None,
+        retransmit_policy: Optional[RetransmitPolicy] = None,
+        detector_policy: Optional[DetectorPolicy] = None,
+        churn_plan: Optional[ChurnPlan] = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
@@ -123,6 +160,7 @@ class StreamingSession:
             default_latency=latency,
             default_loss_factory=loss_factory,
             latency_factory=latency_factory,
+            control_loss_factory=control_loss_factory,
         )
         self.content = MediaContent(
             "content",
@@ -155,6 +193,23 @@ class StreamingSession:
         #: set by single-source / schedule-based strategies
         self.expected_active: Optional[set] = None
         self._initiated = False
+        # --- churn-tolerance subsystems (all opt-in) -------------------
+        self.control_plane: Optional[ControlPlane] = None
+        if retransmit_policy is not None:
+            self.control_plane = ControlPlane(
+                self.overlay, retransmit_policy, config.delta
+            )
+            self.control_plane.on_give_up = self._on_control_give_up
+        self.detector: Optional[FailureDetector] = None
+        self.recoordinator: Optional[ReCoordinator] = None
+        if detector_policy is not None:
+            self.detector = FailureDetector(self, detector_policy)
+            if detector_policy.recoordinate:
+                self.recoordinator = ReCoordinator(self)
+                self.detector.on_confirm = self.recoordinator.handle_failure
+        self.churn_plan = churn_plan
+        if churn_plan is not None:
+            churn_plan.install(self)
         if fault_plan is not None:
             fault_plan.install(self)
         self.repair_monitor: Optional["RepairMonitor"] = None
@@ -169,6 +224,81 @@ class StreamingSession:
             self.adaptation_monitor = RateAdaptationMonitor(
                 self, adaptation_policy
             )
+
+    # ------------------------------------------------------------------
+    # reliable control plane
+    # ------------------------------------------------------------------
+    def send_control(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        body=None,
+        *,
+        size_bytes: Optional[int] = None,
+        reliable: bool = True,
+    ) -> None:
+        """Send one coordination message.
+
+        Routed through the :class:`~repro.net.overlay.ControlPlane` (ack +
+        retransmit) when the session has one and ``reliable`` is left on;
+        plain fire-and-forget otherwise.  Leaf-originated assignments are
+        also registered with the failure detector so a peer that dies
+        before its first heartbeat is still covered.
+        """
+        size = self.config.control_size if size_bytes is None else size_bytes
+        if self.detector is not None and src == self.leaf.peer_id:
+            assignment = getattr(body, "assignment", None)
+            if assignment is not None:
+                self.detector.expect(dst, data_seqs_of(assignment))
+        if reliable and self.control_plane is not None:
+            self.control_plane.send(src, dst, kind, body, size)
+        else:
+            self.overlay.send(src, dst, kind, body=body, size_bytes=size)
+
+    def intercept_control(self, message: Message) -> bool:
+        """Ack/dedup bookkeeping for an inbound message.
+
+        Returns True when the message is consumed by the control plane
+        (an ack, or a duplicate of an already-delivered retransmission).
+        """
+        if self.control_plane is None:
+            return False
+        return self.control_plane.intercept(message)
+
+    def _on_control_give_up(self, src: str, dst: str, kind: str, body) -> None:
+        """Retries exhausted toward ``dst``: treat it as unreachable.
+
+        The abandoned assignment (if the message carried one) is noted as
+        the destination's residual so re-coordination can re-flood it —
+        this covers parent→child handoffs the leaf never witnessed (the
+        parent, in effect, reports its failed handoff).
+        """
+        if self.detector is None or dst not in self.peers:
+            return
+        assignment = getattr(body, "assignment", None)
+        if assignment is not None:
+            self.detector.expect(dst, data_seqs_of(assignment))
+        self.detector.report_unreachable(dst)
+
+    def crash_time_of(self, peer_id: str) -> Optional[float]:
+        """Ground-truth instant of the peer's most recent crash, if any."""
+        from repro.streaming.faults import CrashFault
+
+        latest: Optional[float] = None
+        for event in self.faults_fired:
+            if getattr(event, "peer_id", None) != peer_id:
+                continue
+            kind = getattr(event, "kind", None)
+            is_crash = kind == "crash" or (
+                kind is None and isinstance(event, CrashFault)
+            )
+            if not is_crash:
+                continue
+            at = getattr(event, "at", None)
+            if at is not None and (latest is None or at > latest):
+                latest = at
+        return latest
 
     # ------------------------------------------------------------------
     def record_activation(self, peer_id: str, time: float, hops: int) -> None:
@@ -231,6 +361,13 @@ class StreamingSession:
             at_sync = total_ctrl
 
         decoder = self.leaf.decoder
+        det = self.detector
+        rec = self.recoordinator
+        handoff_latencies = (
+            [h.latency for h in rec.handoffs if h.latency is not None]
+            if rec is not None
+            else []
+        )
         return SessionResult(
             config=cfg,
             protocol=self.protocol.name,
@@ -249,6 +386,25 @@ class StreamingSession:
             receive_overruns=self.leaf.receive_overruns,
             completed_at=self.leaf.completed_at,
             elapsed=self.env.now,
+            retransmissions_by_kind=dict(traffic.retransmissions_by_kind),
+            retransmit_give_ups=sum(traffic.give_ups_by_kind.values()),
+            duplicates_suppressed=sum(
+                traffic.duplicates_suppressed_by_kind.values()
+            ),
+            suspected_peers=sorted(det.suspects) if det is not None else [],
+            confirmed_failures=(
+                sorted(det.confirmed_failures) if det is not None else []
+            ),
+            false_suspicions=det.false_suspicions if det is not None else 0,
+            detection_latencies=(
+                dict(det.detection_latencies) if det is not None else {}
+            ),
+            recoordinations=rec.recoordinations if rec is not None else 0,
+            mean_handoff_latency=(
+                sum(handoff_latencies) / len(handoff_latencies)
+                if handoff_latencies
+                else None
+            ),
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,187 @@
+"""Tests for the reliable control plane (ack + retransmit + backoff)."""
+
+import pytest
+
+from repro.net.loss import BernoulliLoss
+from repro.net.overlay import ControlPlane, Overlay, RetransmitPolicy
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+def build(loss=0.0, policy=None, delta=10.0, seed=0):
+    env = Environment()
+    overlay = Overlay(
+        env,
+        streams=RandomStreams(seed),
+        control_loss_factory=(lambda: BernoulliLoss(loss)) if loss else None,
+    )
+    overlay.add_node("a")
+    overlay.add_node("b")
+    plane = ControlPlane(overlay, policy or RetransmitPolicy(), delta)
+    return env, overlay, plane
+
+
+def wire(overlay, plane, node_id, inbox):
+    """Route a node's deliveries through the control plane (both ends must
+    do this — acks land on the original sender)."""
+
+    def on_deliver(message):
+        if plane.intercept(message):
+            return
+        inbox.append(message)
+
+    overlay.nodes[node_id].on_deliver = on_deliver
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetransmitPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetransmitPolicy(ack_timeout_deltas=0)
+    with pytest.raises(ValueError):
+        RetransmitPolicy(backoff=0.5)
+    with pytest.raises(ValueError):
+        RetransmitPolicy(jitter=-0.1)
+    with pytest.raises(ValueError):
+        ControlPlane(Overlay(Environment()), RetransmitPolicy(), delta=0)
+
+
+def test_lossless_send_no_retransmissions():
+    env, overlay, plane = build()
+    inbox = []
+    wire(overlay, plane, "b", inbox)
+    wire(overlay, plane, "a", [])
+    plane.send("a", "b", "control", body="hello")
+    env.run()
+    assert [m.body for m in inbox] == ["hello"]
+    assert sum(overlay.traffic.retransmissions_by_kind.values()) == 0
+    assert sum(overlay.traffic.give_ups_by_kind.values()) == 0
+    # the ack flowed back and cleared the pending table
+    assert plane._pending == {}
+
+
+def test_lossy_send_retransmits_until_delivered():
+    # 60% control loss: a single shot usually dies; a deep retry ladder
+    # (P[11 straight losses] ≈ 0.4%) pushes everything through
+    env, overlay, plane = build(
+        loss=0.6,
+        seed=5,
+        policy=RetransmitPolicy(max_retries=10, backoff=1.2),
+    )
+    inbox = []
+    wire(overlay, plane, "b", inbox)
+    wire(overlay, plane, "a", [])
+    for i in range(20):
+        plane.send("a", "b", "control", body=i)
+    env.run()
+    assert sorted(m.body for m in inbox) == list(range(20))
+    assert overlay.traffic.retransmissions_by_kind["control"] > 0
+
+
+def test_duplicates_suppressed_not_redelivered():
+    """A retransmitted copy whose original got through must be swallowed."""
+    env, overlay, plane = build(
+        loss=0.45,
+        seed=2,
+        policy=RetransmitPolicy(max_retries=10, backoff=1.2),
+    )
+    inbox = []
+    wire(overlay, plane, "b", inbox)
+    wire(overlay, plane, "a", [])
+    for i in range(30):
+        plane.send("a", "b", "control", body=i)
+    env.run()
+    # exactly-once delivery despite retransmissions
+    assert sorted(m.body for m in inbox) == list(range(30))
+    # with ~45% loss on data and acks some ack is lost → duplicates arise
+    assert sum(overlay.traffic.duplicates_suppressed_by_kind.values()) > 0
+
+
+def test_give_up_after_budget_and_callback():
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(max_retries=2, ack_timeout_deltas=1.0)
+    )
+    overlay.nodes["b"].crash()  # b discards everything, never acks
+    abandoned = []
+    plane.on_give_up = lambda src, dst, kind, body: abandoned.append(
+        (src, dst, kind, body)
+    )
+    plane.send("a", "b", "start", body="payload")
+    env.run()
+    assert abandoned == [("a", "b", "start", "payload")]
+    assert overlay.traffic.give_ups_by_kind["start"] == 1
+    assert overlay.traffic.retransmissions_by_kind["start"] == 2
+    assert plane._pending == {}
+
+
+def test_backoff_grows_between_attempts():
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(
+            max_retries=3, ack_timeout_deltas=1.0, backoff=2.0, jitter=0.0
+        )
+    )
+    overlay.nodes["b"].crash()
+    times = []
+    original = overlay.send
+
+    def spy(src, dst, kind, **kw):
+        if kind != "ack":
+            times.append(env.now)
+        return original(src, dst, kind, **kw)
+
+    overlay.send = spy
+    plane.send("a", "b", "control")
+    env.run()
+    assert len(times) == 4  # original + 3 retries
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps[1] == pytest.approx(2 * gaps[0])
+    assert gaps[2] == pytest.approx(2 * gaps[1])
+
+
+def test_dead_sender_stops_retrying():
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(max_retries=5, ack_timeout_deltas=1.0)
+    )
+    overlay.nodes["b"].crash()
+    gave_up = []
+    plane.on_give_up = lambda *a: gave_up.append(a)
+    plane.send("a", "b", "control")
+
+    def crash_a():
+        yield env.timeout(15.0)
+        overlay.nodes["a"].crash()
+
+    env.process(crash_a())
+    env.run()
+    # the sender died mid-ladder: no give-up is reported, no retries leak
+    assert gave_up == []
+    assert plane._pending == {}
+
+
+def test_ack_for_unknown_id_is_harmless():
+    env, overlay, plane = build()
+    from repro.net.message import Message
+
+    assert plane.intercept(
+        Message(src="b", dst="a", kind="ack", body=999, size_bytes=32)
+    )
+
+
+def test_unreliable_messages_pass_through_untouched():
+    env, overlay, plane = build()
+    from repro.net.message import Message
+
+    msg = Message(src="a", dst="b", kind="control", body=1, size_bytes=64)
+    assert plane.intercept(msg) is False  # no msg_id → not ours
+    assert overlay.traffic.sent_by_kind["ack"] == 0
+
+
+def test_control_loss_spares_media_packets():
+    env, overlay, plane = build(loss=1.0)  # every control message dies
+    got = []
+    overlay.nodes["b"].on_deliver = lambda m: got.append(m.kind)
+    overlay.send("a", "b", "packet", body="media")
+    overlay.send("a", "b", "control", body="ctl")
+    env.run()
+    assert got == ["packet"]
+    assert overlay.traffic.dropped_by_kind["control"] == 1

@@ -1,0 +1,217 @@
+"""Tests for the leaf-side heartbeat failure detector."""
+
+import pytest
+
+from repro.core import DCoP, ProtocolConfig, TCoP
+from repro.streaming import (
+    DetectorPolicy,
+    FailureDetector,
+    FaultPlan,
+    Heartbeat,
+    StreamingSession,
+)
+from repro.net.overlay import RetransmitPolicy
+
+
+def config(**kw):
+    defaults = dict(
+        n=10, H=4, fault_margin=1, tau=1.0, delta=8.0,
+        content_packets=150, seed=3,
+    )
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def session(proto=DCoP, policy=None, **kw):
+    return StreamingSession(
+        config(**kw.pop("cfg", {})),
+        proto(),
+        detector_policy=policy or DetectorPolicy(),
+        **kw,
+    )
+
+
+# ----------------------------------------------------------------------
+# policy validation
+# ----------------------------------------------------------------------
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        DetectorPolicy(heartbeat_period_deltas=0)
+    with pytest.raises(ValueError):
+        DetectorPolicy(suspect_misses=0)
+    with pytest.raises(ValueError):
+        DetectorPolicy(suspect_misses=4, confirm_misses=3)
+    with pytest.raises(ValueError):
+        DetectorPolicy(idle_grace_deltas=0)
+
+
+# ----------------------------------------------------------------------
+# bookkeeping units (driven without running the protocol)
+# ----------------------------------------------------------------------
+def test_touch_registers_and_clears_suspicion():
+    s = session()
+    det = s.detector
+    det.touch("CP1")
+    assert "CP1" in det.monitored
+    st = det.monitored["CP1"]
+    st.suspected_at = 5.0
+    det.touch("CP1")
+    assert not st.suspected
+    assert det.suspects == set()
+
+
+def test_touch_ignores_unknown_peer():
+    s = session()
+    s.detector.touch("nobody")
+    assert "nobody" not in s.detector.monitored
+
+
+def test_heartbeat_updates_pending_and_done():
+    s = session()
+    det = s.detector
+    det.on_heartbeat(Heartbeat("CP2", (3, 4, 5)))
+    assert det.monitored["CP2"].pending == {3, 4, 5}
+    assert not det.monitored["CP2"].done
+    det.on_heartbeat(Heartbeat("CP2", (), done=True))
+    assert det.monitored["CP2"].done
+
+
+def test_expect_reopens_a_done_peer():
+    s = session()
+    det = s.detector
+    det.on_heartbeat(Heartbeat("CP2", (), done=True))
+    det.expect("CP2", [7, 8])
+    st = det.monitored["CP2"]
+    assert not st.done
+    assert {7, 8} <= st.noted
+
+
+def test_residual_excludes_held_and_out_of_range():
+    s = session()
+    det = s.detector
+    det.expect("CP4", [1, 2, 99999, 0])
+    # simulate the leaf already holding seq 1
+    from repro.media.packet import DataPacket
+
+    s.leaf.decoder.add(DataPacket(1, s.content.payload(1)))
+    assert det.residual_of("CP4") == {2}
+    assert det.residual_of("unknown") == set()
+
+
+def test_report_unreachable_confirms_immediately():
+    s = session()
+    det = s.detector
+    fired = []
+    det.on_confirm = fired.append
+    det.report_unreachable("CP5")
+    assert "CP5" in det.confirmed_failures
+    assert fired == ["CP5"]
+    # double report is idempotent
+    det.report_unreachable("CP5")
+    assert fired == ["CP5"]
+
+
+# ----------------------------------------------------------------------
+# end-to-end detection
+# ----------------------------------------------------------------------
+def test_crash_is_suspected_then_confirmed_with_latency():
+    cfg = config()
+    probe = StreamingSession(cfg, DCoP())
+    victim = probe.leaf_select(cfg.H)[0]
+    s = StreamingSession(
+        cfg,
+        DCoP(),
+        fault_plan=FaultPlan().crash(victim, 40.0),
+        detector_policy=DetectorPolicy(recoordinate=False),
+    )
+    r = s.run()
+    assert victim in r.confirmed_failures
+    lat = r.detection_latencies[victim]
+    # confirmation takes confirm_misses heartbeat periods plus at most a
+    # couple of scheduling/delivery slacks
+    pol = DetectorPolicy()
+    assert 0 < lat <= (pol.confirm_misses + 2) * pol.heartbeat_period_deltas * cfg.delta
+    assert r.mean_detection_latency == lat
+
+
+def test_no_crash_no_confirmations():
+    r = session().run()
+    assert r.confirmed_failures == []
+    assert r.detection_latencies == {}
+    assert r.suspected_peers == []
+
+
+def test_detector_terminates_on_dead_overlay():
+    """Every peer dead from t=0: the detector must still let the run end."""
+    cfg = config(n=4, H=2)
+    plan = FaultPlan()
+    for pid in [f"CP{i}" for i in range(1, 5)]:
+        plan.crash(pid, 0.0)
+    s = StreamingSession(
+        cfg, DCoP(), fault_plan=plan, detector_policy=DetectorPolicy()
+    )
+    r = s.run()  # env.run(until=None) — would hang without the idle grace
+    assert r.delivery_ratio == 0.0
+
+
+def test_recoordination_reflows_residual():
+    """A confirmed crash mid-stream triggers a residual re-flood that
+    completes delivery even when parity alone could not."""
+    cfg = config(fault_margin=0, content_packets=200)
+    probe = StreamingSession(cfg, DCoP())
+    victim = probe.leaf_select(cfg.H)[0]
+    with_rc = StreamingSession(
+        cfg,
+        DCoP(),
+        fault_plan=FaultPlan().crash(victim, 50.0),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+    )
+    r = with_rc.run()
+    assert r.recoordinations >= 1
+    assert r.delivery_ratio == 1.0
+    assert r.mean_handoff_latency is not None and r.mean_handoff_latency > 0
+
+    without = StreamingSession(
+        cfg,
+        DCoP(),
+        fault_plan=FaultPlan().crash(victim, 50.0),
+    )
+    assert without.run().delivery_ratio < 1.0
+
+
+def test_recoordination_works_for_tcop():
+    cfg = config(fault_margin=0, content_packets=200, seed=11)
+    s = StreamingSession(
+        cfg,
+        TCoP(),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+    )
+    # crash whichever peer the leaf starts first, after it activates
+    r0 = StreamingSession(cfg, TCoP()).run()
+    victim = min(r0.activation_times, key=r0.activation_times.get)
+    s = StreamingSession(
+        cfg,
+        TCoP(),
+        fault_plan=FaultPlan().crash(victim, 80.0),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+    )
+    r = s.run()
+    assert victim in r.confirmed_failures
+    assert r.delivery_ratio == 1.0
+
+
+def test_false_suspicion_metric_counts_live_accusations():
+    s = session()
+    det = s.detector
+    det.touch("CP1")
+    det._suspect("CP1", det.monitored["CP1"])
+    assert s.run().false_suspicions == 1
+
+
+def test_detector_repr():
+    s = session()
+    assert "FailureDetector" in repr(s.detector)
+    assert isinstance(s.detector, FailureDetector)

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core import DCoP, ProtocolConfig, ScheduleBasedCoordination, SingleSourceStreaming
-from repro.streaming import CrashFault, DegradeFault, FaultPlan, StreamingSession
+from repro.streaming import (
+    ChurnEvent,
+    ChurnPlan,
+    CrashFault,
+    DegradeFault,
+    FaultPlan,
+    StreamingSession,
+)
 
 
 def config(**kw):
@@ -124,3 +131,111 @@ def test_crashed_peer_excluded_from_sync_metric():
     r = session.run()
     # CP9 is down from t=0; remaining peers still synchronize
     assert "CP9" not in r.activation_times or r.all_active
+
+
+# ----------------------------------------------------------------------
+# install-time validation
+# ----------------------------------------------------------------------
+def test_install_rejects_unknown_crash_target():
+    plan = FaultPlan().crash("CP999", 10.0)
+    with pytest.raises(ValueError, match="CP999"):
+        StreamingSession(config(), DCoP(), fault_plan=plan)
+
+
+def test_install_rejects_unknown_degrade_target():
+    plan = FaultPlan().degrade("nope", 10.0, factor=0.5)
+    with pytest.raises(ValueError, match="nope"):
+        StreamingSession(config(), DCoP(), fault_plan=plan)
+
+
+def test_install_accepts_valid_targets():
+    plan = FaultPlan().crash("CP1", 10.0).degrade("CP2", 20.0, 0.5)
+    StreamingSession(config(), DCoP(), fault_plan=plan)  # no raise
+
+
+# ----------------------------------------------------------------------
+# churn
+# ----------------------------------------------------------------------
+def test_churn_plan_validation():
+    with pytest.raises(ValueError):
+        ChurnPlan(rate_per_delta=-0.1)
+    with pytest.raises(ValueError):
+        ChurnPlan(mean_downtime_deltas=0)
+    with pytest.raises(ValueError):
+        ChurnPlan(storm_size=-1)
+    with pytest.raises(ValueError):
+        ChurnPlan(start_deltas=-1)
+    with pytest.raises(ValueError):
+        ChurnPlan(stop_deltas=0)
+    with pytest.raises(ValueError):
+        ChurnPlan(min_live=0)
+
+
+def test_churn_crashes_and_rejoins_peers():
+    cfg = config(n=10, H=4, content_packets=400, seed=2)
+    plan = ChurnPlan(
+        rate_per_delta=0.2, min_live=5, mean_downtime_deltas=3.0
+    )
+    session = StreamingSession(cfg, DCoP(), churn_plan=plan)
+    session.run()
+    kinds = {e.kind for e in session.faults_fired if isinstance(e, ChurnEvent)}
+    assert "crash" in kinds
+    assert "rejoin" in kinds
+
+
+def test_churn_respects_min_live():
+    cfg = config(n=6, H=3, content_packets=300, seed=1)
+    plan = ChurnPlan(rate_per_delta=1.0, rejoin=False, min_live=4)
+    session = StreamingSession(cfg, DCoP(), churn_plan=plan)
+    session.run()
+    live = [p for p in session.peer_ids if not session.peers[p].crashed]
+    assert len(live) >= 4
+
+
+def test_churn_storm_crashes_a_group_at_once():
+    cfg = config(n=12, H=4, content_packets=300, seed=6)
+    plan = ChurnPlan(
+        rate_per_delta=0.0, rejoin=False, storm_at=60.0, storm_size=3
+    )
+    session = StreamingSession(cfg, DCoP(), churn_plan=plan)
+    session.run()
+    storm_events = [
+        e for e in session.faults_fired
+        if isinstance(e, ChurnEvent) and e.kind == "crash"
+    ]
+    assert len(storm_events) == 3
+    assert all(e.at == 60.0 for e in storm_events)
+
+
+def test_churn_terminates_without_completion():
+    """Churn on a session that can never finish (all peers die, no
+    rejoin) must still drain the event queue — the horizon bounds it."""
+    cfg = config(n=4, H=2, content_packets=200, seed=8)
+    plan = ChurnPlan(rate_per_delta=0.5, rejoin=False, min_live=1)
+    session = StreamingSession(cfg, DCoP(), churn_plan=plan)
+    r = session.run()  # until=None: returns only if everything terminates
+    assert r.elapsed < 1e7
+
+
+def test_rejoined_peer_resumes_residual():
+    """A peer that crash-recovers finishes its own share: delivery
+    completes even with parity off and no detector configured."""
+    cfg = config(n=8, H=4, fault_margin=0, content_packets=300, seed=3)
+    probe = StreamingSession(cfg, DCoP())
+    victim = probe.leaf_select(cfg.H)[0]
+    session = StreamingSession(
+        cfg, DCoP(), fault_plan=FaultPlan().crash(victim, 60.0)
+    )
+    down = session.run()
+    assert down.delivery_ratio < 1.0
+
+    session = StreamingSession(
+        cfg, DCoP(), fault_plan=FaultPlan().crash(victim, 60.0)
+    )
+
+    def revive():
+        yield session.env.timeout(90.0)
+        session.peers[victim].rejoin()
+
+    session.env.process(revive())
+    assert session.run().delivery_ratio == 1.0

@@ -131,3 +131,55 @@ def test_repair_request_slices_are_disjoint_cover():
     req = RepairRequest(seqs=[1, 5, 9], rate=0.5)
     assert req.seqs == [1, 5, 9]
     assert req.rate == 0.5
+
+
+def test_repair_skips_detector_suspects():
+    """With a failure detector present, repair rounds exclude peers the
+    detector already considers dead — no repair request is wasted on a
+    confirmed-crashed peer."""
+    from repro.streaming import DetectorPolicy
+
+    cfg = config(fault_margin=0)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[0]
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        fault_plan=FaultPlan().crash(victim, 100.0),
+        repair_policy=RepairPolicy(),
+        detector_policy=DetectorPolicy(recoordinate=False),
+    )
+    r = session.run()
+    assert victim in r.confirmed_failures
+    confirmed_at = session.detector.monitored[victim].confirmed_at
+    late_repairs_to_victim = [
+        (kind, t, src, dst)
+        for kind, t, src, dst in session.overlay.traffic.send_log
+        if kind == "repair" and dst == victim and t > confirmed_at
+    ]
+    assert late_repairs_to_victim == []
+    assert r.delivery_ratio == 1.0
+
+
+def test_repair_falls_back_when_everyone_suspected():
+    """A false mass suspicion must not starve repair: with every peer
+    suspected the monitor samples from the full list again."""
+    from repro.streaming import DetectorPolicy
+
+    cfg = config(fault_margin=0)
+    session = StreamingSession(
+        cfg,
+        ScheduleBasedCoordination(),
+        repair_policy=RepairPolicy(),
+        detector_policy=DetectorPolicy(recoordinate=False),
+    )
+    det = session.detector
+    for pid in session.peer_ids:
+        det.touch(pid)
+        det.monitored[pid].suspected_at = 0.0
+    monitor = session.repair_monitor
+    # force a round with everyone suspected; it must still send requests
+    session.leaf.decoder  # noqa: B018 — decoder is empty, all seqs missing
+    monitor._issue_round()
+    sent = [k for k, *_ in session.overlay.traffic.send_log if k == "repair"]
+    assert sent

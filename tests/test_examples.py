@@ -56,3 +56,12 @@ def test_adaptive_streaming(capsys):
     out = run_example("adaptive_streaming.py", capsys)
     assert "speedup" in out
     assert "helper recruited" in out
+
+
+def test_churn_streaming(capsys):
+    out = run_example("churn_streaming.py", capsys)
+    assert "churn-tolerant DCoP" in out
+    assert "delivery ratio:        1.0000" in out
+    assert "confirmed dead" in out
+    assert "re-coordinations:" in out
+    assert "tolerance stack off" in out
