@@ -6,6 +6,70 @@ is the printed table and the shape assertions, not the wall-clock
 statistics, so one round suffices.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Each run also writes one consolidated ``BENCH_<module>.json`` artifact per
+bench module (wall time of every test + any key result scalars recorded
+through the ``bench_scalars`` fixture) into ``BENCH_ARTIFACT_DIR``
+(default ``<rootdir>/bench_artifacts``), so the perf trajectory is
+tracked across PRs — CI uploads the directory as a workflow artifact.
 """
 
+import json
+import os
+from pathlib import Path
+
+import pytest
+
 REDUCED_HS = [2, 5, 10, 20, 40, 60, 80, 100]
+
+#: module name -> {test name -> {"wall_s": float, "scalars": {...}}}
+_RECORDS: dict = {}
+
+
+@pytest.fixture
+def bench_scalars(request):
+    """Dict a bench fills with key result scalars (rounds, rates, …).
+
+    Whatever lands here is merged into the module's ``BENCH_<name>.json``
+    under this test's entry.
+    """
+    data = {}
+    request.node._bench_scalars = data
+    return data
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.passed:
+        return
+    module = Path(item.fspath).stem.removeprefix("test_bench_")
+    _RECORDS.setdefault(module, {})[item.name] = {
+        "wall_s": round(report.duration, 4),
+        "scalars": getattr(item, "_bench_scalars", {}),
+    }
+
+
+def _artifact_dir(config) -> Path:
+    override = os.environ.get("BENCH_ARTIFACT_DIR")
+    if override:
+        return Path(override)
+    return Path(str(config.rootdir)) / "bench_artifacts"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    out_dir = _artifact_dir(session.config)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for module, tests in sorted(_RECORDS.items()):
+        payload = {
+            "bench": module,
+            "total_wall_s": round(
+                sum(t["wall_s"] for t in tests.values()), 4
+            ),
+            "tests": tests,
+        }
+        path = out_dir / f"BENCH_{module}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -10,7 +10,7 @@ from repro.experiments import run_churn
 from repro.streaming import DetectorPolicy
 
 
-def test_bench_churn(benchmark):
+def test_bench_churn(benchmark, bench_scalars):
     series = benchmark.pedantic(
         lambda: run_churn(
             churn_rates=[0.0, 0.02, 0.05, 0.1],
@@ -23,6 +23,8 @@ def test_bench_churn(benchmark):
     )
     print()
     print(series.render())
+    bench_scalars["min_dcop_delivery"] = min(series.series("dcop_delivery"))
+    bench_scalars["min_tcop_delivery"] = min(series.series("tcop_delivery"))
 
     dcop = series.series("dcop_delivery")
     tcop = series.series("tcop_delivery")

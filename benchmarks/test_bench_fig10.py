@@ -10,7 +10,7 @@ from conftest import REDUCED_HS
 from repro.experiments import PAPER_FIG10_REFERENCE, run_fig10
 
 
-def test_bench_fig10(benchmark):
+def test_bench_fig10(benchmark, bench_scalars):
     series = benchmark.pedantic(
         lambda: run_fig10(h_values=REDUCED_HS, content_packets=300),
         rounds=1,
@@ -22,6 +22,11 @@ def test_bench_fig10(benchmark):
 
     rounds = series.series("rounds")
     hs = series.x
+    bench_scalars["rounds_at_H60"] = rounds[hs.index(60)]
+    bench_scalars["rounds_at_H100"] = rounds[hs.index(100)]
+    bench_scalars["control_packets_at_H100"] = series.series(
+        "control_packets"
+    )[hs.index(100)]
     # shape: monotone non-increasing rounds
     assert all(a >= b for a, b in zip(rounds, rounds[1:]))
     # paper's quoted points: 2 rounds at H=60, 1 round at H=100

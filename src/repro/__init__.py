@@ -20,6 +20,7 @@ Package map:
 * :mod:`repro.streaming` — contents/leaf peer agents, sessions, faults
 * :mod:`repro.analysis` — closed-form models cross-checking the simulator
 * :mod:`repro.metrics` — tables, sweep series, stats
+* :mod:`repro.obs` — trace bus, time-series metrics, trace exporters
 * :mod:`repro.experiments` — one module per paper figure + ablations
 """
 
@@ -35,6 +36,7 @@ from repro.core import (
 )
 from repro.media import MediaContent
 from repro.net.overlay import RetransmitPolicy
+from repro.obs import TraceConfig
 from repro.streaming import (
     ChurnPlan,
     DetectorPolicy,
@@ -60,6 +62,7 @@ __all__ = [
     "SingleSourceStreaming",
     "StreamingSession",
     "TCoP",
+    "TraceConfig",
     "UnicastChainCoordination",
     "__version__",
 ]

@@ -77,6 +77,9 @@ class DCoP(CoordinationProtocol):
 
         interval = parity_interval_for(m, cfg.fault_margin)
         rate = rate_for(cfg.tau, m, interval)
+        tracer = session.env.tracer
+        if tracer is not None:
+            tracer.wave_start(1, session.leaf.peer_id, targets=m)
         for i, pid in enumerate(selected):
             assignment = Assignment(
                 basis=basis, n_parts=m, index=i, interval=interval, rate=rate
@@ -115,6 +118,9 @@ class DCoP(CoordinationProtocol):
         children = agent.select_children(self.fanout(cfg))
         if not children:
             return
+        tracer = agent.env.tracer
+        if tracer is not None:
+            tracer.wave_start(next_hops, agent.peer_id, targets=len(children))
         plan = agent.handoff_stream(stream, children)
         agent.merge_view(children)
         view = frozenset(agent.view)

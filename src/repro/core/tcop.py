@@ -87,6 +87,10 @@ class TCoP(CoordinationProtocol):
             }
             state[oid] = pending
             view = frozenset(selected)
+            if env.tracer is not None:
+                env.tracer.wave_start(
+                    base_hops + 1, leaf_id, targets=m, phase="offer"
+                )
             for pid in selected:
                 session.send_control(
                     leaf_id,
@@ -107,6 +111,10 @@ class TCoP(CoordinationProtocol):
         interval = parity_interval_for(n_parts, cfg.fault_margin)
         rate = rate_for(cfg.tau, n_parts, interval)
         view = frozenset(confirmed)
+        if env.tracer is not None:
+            env.tracer.wave_start(
+                base_hops + 3, leaf_id, targets=n_parts, phase="start"
+            )
         for i, pid in enumerate(confirmed):
             assignment = Assignment(
                 basis=basis, n_parts=n_parts, index=i, interval=interval, rate=rate
@@ -224,6 +232,11 @@ class TCoP(CoordinationProtocol):
             }
             pending_map[oid] = pending
             view = frozenset(agent.view)
+            if env.tracer is not None:
+                env.tracer.wave_start(
+                    round_cursor + 1, agent.peer_id,
+                    targets=len(children), phase="offer",
+                )
             for child in children:
                 agent.send_control(
                     child,

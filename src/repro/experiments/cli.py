@@ -55,6 +55,67 @@ def _figures(args) -> list[tuple[str, object]]:
     return out
 
 
+def _run_trace(args) -> int:
+    """``trace`` subcommand: one traced session + timeline + exporters."""
+    from repro.core.centralized import CentralizedCoordination
+    from repro.core.dcop import DCoP
+    from repro.core.base import ProtocolConfig
+    from repro.core.tcop import TCoP
+    from repro.obs import (
+        TraceConfig,
+        wave_timeline,
+        write_chrome_trace,
+        write_jsonl,
+        write_run_summary,
+    )
+    from repro.streaming.session import StreamingSession
+
+    protocols = {
+        "dcop": DCoP,
+        "tcop": TCoP,
+        "centralized": CentralizedCoordination,
+    }
+    config = ProtocolConfig(
+        n=args.n,
+        H=args.H,
+        fault_margin=1,
+        seed=args.seed,
+        content_packets=100 if args.quick else args.packets,
+    )
+    session = StreamingSession(
+        config, protocols[args.protocol](), trace=TraceConfig()
+    )
+    result = session.run()
+    bus = result.trace
+    assert bus is not None
+
+    timeline = wave_timeline(
+        bus, title=f"{result.protocol} coordination timeline (n={config.n}, H={config.H})"
+    )
+    print(timeline.to_markdown())
+    print(result.summary())
+    print(
+        f"trace: {len(bus.events)} events "
+        f"({bus.dropped_events} dropped), rounds={result.rounds}, "
+        f"sync={result.sync_time}"
+    )
+
+    trace_out = args.trace_out or f"trace_{args.protocol}.json"
+    write_chrome_trace(bus, trace_out)
+    print(
+        f"wrote Chrome trace-event JSON to {trace_out} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+    if args.jsonl_out:
+        write_jsonl(bus, args.jsonl_out)
+        print(f"wrote JSONL trace to {args.jsonl_out}", file=sys.stderr)
+    if args.summary_out:
+        write_run_summary(result, args.summary_out)
+        print(f"wrote run summary to {args.summary_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -66,8 +127,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig10", "fig11", "fig12", "ablations", "all"],
-        help="which figure/ablation to run",
+        choices=["fig10", "fig11", "fig12", "ablations", "all", "trace"],
+        help="which figure/ablation to run, or 'trace' for one traced run",
     )
     parser.add_argument(
         "--quick", action="store_true", help="coarser H grid, shorter content"
@@ -81,7 +142,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also save all artifacts as one JSON document",
     )
+    trace_group = parser.add_argument_group(
+        "trace", "options for the 'trace' subcommand"
+    )
+    trace_group.add_argument(
+        "--protocol",
+        choices=["dcop", "tcop", "centralized"],
+        default="tcop",
+        help="protocol to trace",
+    )
+    trace_group.add_argument("--n", type=int, default=24, help="contents peers")
+    trace_group.add_argument("--H", type=int, default=6, help="fan-out")
+    trace_group.add_argument(
+        "--packets", type=int, default=200, help="content length"
+    )
+    trace_group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="Chrome trace-event output (default trace_<protocol>.json)",
+    )
+    trace_group.add_argument(
+        "--jsonl-out", metavar="PATH", help="also dump the raw JSONL trace"
+    )
+    trace_group.add_argument(
+        "--summary-out", metavar="PATH", help="also dump a run-summary JSON"
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        return _run_trace(args)
 
     start = time.time()
     artifacts = {}

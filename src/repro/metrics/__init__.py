@@ -3,7 +3,12 @@
 from repro.metrics.table import Table
 from repro.metrics.series import SweepSeries
 from repro.metrics.stats import mean, mean_std, percentile, summarize
-from repro.metrics.io import load_artifacts, save_artifacts
+from repro.metrics.io import (
+    load_artifacts,
+    save_artifacts,
+    session_result_from_dict,
+    session_result_to_dict,
+)
 
 __all__ = [
     "SweepSeries",
@@ -13,5 +18,7 @@ __all__ = [
     "mean_std",
     "percentile",
     "save_artifacts",
+    "session_result_from_dict",
+    "session_result_to_dict",
     "summarize",
 ]

@@ -8,12 +8,19 @@ without re-running the simulations.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, is_dataclass
+from dataclasses import asdict, fields, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
 
 from repro.metrics.series import SweepSeries
 from repro.metrics.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import SessionResult
+
+#: SessionResult fields that hold live in-memory handles, not data —
+#: excluded from serialization (re-run with tracing to regenerate them)
+_RESULT_HANDLE_FIELDS = ("trace", "timeseries")
 
 
 def table_to_dict(table: Table) -> Dict[str, Any]:
@@ -54,11 +61,47 @@ def series_from_dict(data: Dict[str, Any]) -> SweepSeries:
     return series
 
 
+def session_result_to_dict(result: "SessionResult") -> Dict[str, Any]:
+    """Serialize one run's :class:`SessionResult` (config included).
+
+    The observability handles (``trace``, ``timeseries``) are dropped —
+    they carry live objects with their own exporters
+    (:mod:`repro.obs.exporters`); everything else, churn-metric fields
+    included, round-trips through JSON.
+    """
+    from repro.streaming.session import SessionResult
+
+    data: Dict[str, Any] = {}
+    for f in fields(SessionResult):
+        if f.name in _RESULT_HANDLE_FIELDS:
+            continue
+        value = getattr(result, f.name)
+        data[f.name] = asdict(value) if f.name == "config" else value
+    return {"type": "session_result", "data": data}
+
+
+def session_result_from_dict(payload: Dict[str, Any]) -> "SessionResult":
+    if payload.get("type") != "session_result":
+        raise ValueError(
+            f"not a session_result payload: {payload.get('type')!r}"
+        )
+    from repro.core.base import ProtocolConfig
+    from repro.streaming.session import SessionResult
+
+    data = dict(payload["data"])
+    data["config"] = ProtocolConfig(**data["config"])
+    return SessionResult(**data)
+
+
 def artifact_to_dict(artifact: Union[Table, SweepSeries]) -> Dict[str, Any]:
     if isinstance(artifact, Table):
         return table_to_dict(artifact)
     if isinstance(artifact, SweepSeries):
         return series_to_dict(artifact)
+    from repro.streaming.session import SessionResult
+
+    if isinstance(artifact, SessionResult):
+        return session_result_to_dict(artifact)
     if is_dataclass(artifact):
         return {"type": "dataclass", "data": asdict(artifact)}
     raise TypeError(f"cannot serialize {type(artifact).__name__}")
@@ -70,6 +113,8 @@ def artifact_from_dict(data: Dict[str, Any]) -> Union[Table, SweepSeries]:
         return table_from_dict(data)
     if kind == "series":
         return series_from_dict(data)
+    if kind == "session_result":
+        return session_result_from_dict(data)
     raise ValueError(f"unknown artifact type {kind!r}")
 
 

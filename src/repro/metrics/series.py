@@ -28,7 +28,10 @@ class SweepSeries:
         missing = set(self.series_names) - set(values)
         extra = set(values) - set(self.series_names)
         if missing or extra:
-            raise ValueError(f"series mismatch: missing={missing} extra={extra}")
+            raise ValueError(
+                f"series mismatch at {self.x_name}={x!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
         self.x.append(x)
         for name in self.series_names:
             self.columns[name].append(values[name])

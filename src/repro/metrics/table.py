@@ -54,6 +54,17 @@ class Table:
             out.write(" | ".join(v.ljust(w) for v, w in zip(row, widths)) + "\n")
         return out.getvalue()
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (used by the trace CLI)."""
+        out = io.StringIO()
+        if self.title:
+            out.write(f"**{self.title}**\n\n")
+        out.write("| " + " | ".join(self.headers) + " |\n")
+        out.write("|" + "|".join(" --- " for _ in self.headers) + "|\n")
+        for row in self.rows:
+            out.write("| " + " | ".join(_fmt(v) for v in row) + " |\n")
+        return out.getvalue()
+
     def to_csv(self) -> str:
         lines = [",".join(self.headers)]
         for row in self.rows:

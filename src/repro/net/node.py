@@ -35,9 +35,22 @@ class Node:
 
     def deliver(self, message: Message) -> None:
         """Called by a channel when a message arrives."""
+        tracer = self.env.tracer
         if self.down:
             self.dropped_while_down += 1
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop",
+                    self.node_id,
+                    kind=message.kind,
+                    src=message.src,
+                    reason="dst_down",
+                )
             return
+        if tracer is not None:
+            tracer.emit(
+                "msg.recv", self.node_id, kind=message.kind, src=message.src
+            )
         if self.on_deliver is not None:
             self.on_deliver(message)
         else:
@@ -51,9 +64,13 @@ class Node:
         """Mark the node failed: it neither receives nor (by convention)
         sends from now on."""
         self.down = True
+        if self.env.tracer is not None:
+            self.env.tracer.emit("peer.crash", self.node_id)
 
     def recover(self) -> None:
         self.down = False
+        if self.env.tracer is not None:
+            self.env.tracer.emit("peer.rejoin", self.node_id)
 
     def __repr__(self) -> str:
         state = "down" if self.down else "up"

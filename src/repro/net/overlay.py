@@ -135,12 +135,19 @@ class ControlPlane:
             if _attempt == pol.max_retries:
                 break
             self.overlay.traffic.retransmissions_by_kind[kind] += 1
+            if self.env.tracer is not None:
+                self.env.tracer.emit(
+                    "msg.retransmit", src, dst=dst, kind=kind,
+                    attempt=_attempt + 1,
+                )
             self.overlay.send(
                 src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid
             )
             wait *= pol.backoff
         self._pending.pop(mid, None)
         self.overlay.traffic.give_ups_by_kind[kind] += 1
+        if self.env.tracer is not None:
+            self.env.tracer.emit("msg.give_up", src, dst=dst, kind=kind)
         if self.on_give_up is not None:
             self.on_give_up(src, dst, kind, body)
 
@@ -290,6 +297,7 @@ class Overlay:
         msg_id: Optional[int] = None,
     ) -> Message:
         """Send one message and account for it globally."""
+        tracer = self.env.tracer
         if self.nodes[src].down:
             # A crashed peer sends nothing; account as a suppressed send.
             self.traffic.dropped_by_kind[kind] += 1
@@ -297,6 +305,10 @@ class Overlay:
                 src=src, dst=dst, kind=kind, body=body,
                 size_bytes=size_bytes, msg_id=msg_id,
             )
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind=kind, reason="sender_down"
+                )
             return msg
         msg = Message(
             src=src, dst=dst, kind=kind, body=body,
@@ -304,14 +316,24 @@ class Overlay:
         )
         self.traffic.sent_by_kind[kind] += 1
         self.traffic.send_log.append((kind, self.env.now, src, dst))
+        if tracer is not None:
+            tracer.emit("msg.send", src, dst=dst, kind=kind)
         if kind != "packet" and self._control_drops(src, dst):
             self.traffic.dropped_by_kind[kind] += 1
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind=kind, reason="control_loss"
+                )
             return msg
         ch = self.channel(src, dst)
         before_drop = ch.stats.dropped
         ch.send(msg)
         if ch.stats.dropped > before_drop:
             self.traffic.dropped_by_kind[kind] += 1
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind=kind, reason="channel_loss"
+                )
         else:
             self.traffic.delivered_by_kind[kind] += 1
         return msg

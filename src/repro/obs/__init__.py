@@ -1,0 +1,45 @@
+"""Observability: trace bus, time-series metrics, exporters, timelines.
+
+The subsystem is **opt-in and zero-overhead when off**: a session only
+records anything when constructed with a :class:`TraceConfig`; every
+instrumentation hook in the engine, overlay, protocols, and agents is a
+single ``env.tracer is None`` check otherwise, so the tier-1 figures run
+untouched.
+
+* :mod:`repro.obs.trace` — :class:`TraceBus` + the typed event taxonomy;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms sampled against
+  sim-time into :class:`~repro.metrics.series.SweepSeries` columns;
+* :mod:`repro.obs.exporters` — JSONL, Chrome ``trace_event`` (Perfetto),
+  and run-summary JSON;
+* :mod:`repro.obs.timeline` — per-wave coordination timelines.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import CONTROL_KINDS, TraceBus, TraceConfig, TraceEvent
+from repro.obs.timeline import wave_timeline
+from repro.obs.exporters import (
+    run_summary,
+    trace_to_chrome,
+    trace_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_run_summary,
+)
+
+__all__ = [
+    "CONTROL_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceBus",
+    "TraceConfig",
+    "TraceEvent",
+    "run_summary",
+    "trace_to_chrome",
+    "trace_to_jsonl",
+    "wave_timeline",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_run_summary",
+]

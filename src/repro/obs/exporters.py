@@ -1,0 +1,192 @@
+"""Trace and run-artifact exporters.
+
+Three formats:
+
+* **JSONL** — one event per line, keys sorted; byte-identical across
+  equal-seed runs, so dumps diff cleanly and the determinism tests can
+  compare them verbatim;
+* **Chrome trace-event JSON** — loads in ``chrome://tracing`` and
+  `Perfetto <https://ui.perfetto.dev>`_; every peer (and the leaf) gets
+  its own named track, flooding waves render as duration slices on a
+  dedicated ``waves`` track;
+* **run summary** — the :class:`SessionResult`, the sampled time series,
+  and trace statistics as one artifact document via
+  :mod:`repro.metrics.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceBus, TraceEvent
+    from repro.streaming.session import SessionResult
+
+#: Perfetto wants integer microseconds; the sim clock runs in ms
+_US_PER_MS = 1000
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def event_to_dict(event: "TraceEvent") -> Dict[str, Any]:
+    return {
+        "ts": event.ts,
+        "kind": event.kind,
+        "subject": event.subject,
+        **event.payload(),
+    }
+
+
+def trace_to_jsonl(bus: "TraceBus") -> str:
+    """One sorted-key JSON object per line; deterministic byte-for-byte."""
+    lines = [
+        json.dumps(event_to_dict(e), sort_keys=True, separators=(",", ":"))
+        for e in bus.events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(bus: "TraceBus", path: Union[str, Path]) -> None:
+    Path(path).write_text(trace_to_jsonl(bus))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event format
+# ----------------------------------------------------------------------
+def trace_to_chrome(bus: "TraceBus") -> Dict[str, Any]:
+    """Convert to the Chrome ``trace_event`` JSON object format.
+
+    Layout: pid 1 = the session; each participant (leaf + every contents
+    peer) is a thread (track) holding its events as instants; tid 0 is a
+    synthetic ``waves`` track where each flooding round ``r`` appears as a
+    complete (``X``) slice spanning ``wave.start`` → ``wave.end``.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+
+    def tid_of(subject: str) -> int:
+        tid = tids.get(subject)
+        if tid is None:
+            tid = len(tids) + 1  # tid 0 is reserved for the waves track
+            tids[subject] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": subject},
+                }
+            )
+        return tid
+
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "streaming session"},
+        }
+    )
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "waves"},
+        }
+    )
+    # every participant gets a track even if it never emitted an event —
+    # Perfetto then shows the dormant peers too
+    for subject in bus.participants:
+        tid_of(subject)
+
+    wave_starts: Dict[int, float] = {}
+    for event in bus.events:
+        payload = event.payload()
+        ts_us = int(round(event.ts * _US_PER_MS))
+        if event.kind == "wave.start":
+            wave_starts[payload["round"]] = event.ts
+            continue
+        if event.kind == "wave.end":
+            r = payload["round"]
+            start = wave_starts.pop(r, event.ts)
+            events.append(
+                {
+                    "name": f"wave {r}",
+                    "cat": "wave",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": int(round(start * _US_PER_MS)),
+                    "dur": max(1, int(round((event.ts - start) * _US_PER_MS))),
+                    "args": payload,
+                }
+            )
+            continue
+        events.append(
+            {
+                "name": event.kind,
+                "cat": event.category,
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid_of(event.subject),
+                "ts": ts_us,
+                "args": payload,
+            }
+        )
+    # waves that started but never closed (no activation landed) render
+    # as zero-length slices so the attempt is still visible
+    for r, start in sorted(wave_starts.items()):
+        events.append(
+            {
+                "name": f"wave {r}",
+                "cat": "wave",
+                "ph": "X",
+                "pid": 1,
+                "tid": 0,
+                "ts": int(round(start * _US_PER_MS)),
+                "dur": 1,
+                "args": {"round": r, "activated": 0},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(bus: "TraceBus", path: Union[str, Path]) -> None:
+    Path(path).write_text(
+        json.dumps(trace_to_chrome(bus), sort_keys=True, separators=(",", ":"))
+    )
+
+
+# ----------------------------------------------------------------------
+# run summary
+# ----------------------------------------------------------------------
+def run_summary(result: "SessionResult") -> Dict[str, Any]:
+    """Everything a post-hoc analysis needs, as plain artifact dicts."""
+    from repro.metrics.io import series_to_dict, session_result_to_dict
+
+    summary: Dict[str, Any] = {"result": session_result_to_dict(result)}
+    bus: Optional["TraceBus"] = result.trace
+    if bus is not None:
+        summary["trace_stats"] = {
+            "type": "trace_stats",
+            "events": len(bus.events),
+            "dropped_events": bus.dropped_events,
+            "counts_by_kind": dict(sorted(bus.counts_by_kind.items())),
+        }
+    if result.timeseries is not None:
+        summary["timeseries"] = series_to_dict(result.timeseries)
+    return summary
+
+
+def write_run_summary(result: "SessionResult", path: Union[str, Path]) -> None:
+    Path(path).write_text(
+        json.dumps(run_summary(result), indent=2, sort_keys=True, default=str)
+    )

@@ -1,0 +1,158 @@
+"""Time-series metrics: counters, gauges, histograms sampled on sim-time.
+
+A :class:`MetricsRegistry` holds named instruments and snapshots them all
+against the simulation clock; the result exports as a
+:class:`~repro.metrics.series.SweepSeries` (x = time in ms, one column per
+counter/gauge), so the harness's existing table/JSON machinery renders a
+run's *trajectory* the same way it renders a sweep's end-state.
+
+* :class:`Counter` — monotone total (control sends, media sends, …);
+* :class:`Gauge` — a callable probed at sample time (active-peer count,
+  in-flight control packets, buffer occupancy, windowed receipt rate);
+* :class:`Histogram` — fixed-bound bucket counts of observed values
+  (packet inter-arrival gaps); summarized once, not per-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.series import SweepSeries
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time reading, probed by the registry at each sample."""
+
+    name: str
+    fn: Callable[[], float]
+
+    def read(self) -> float:
+        return float(self.fn())
+
+
+class Histogram:
+    """Fixed-bound histogram: ``bounds`` are upper bucket edges.
+
+    ``observe(v)`` lands ``v`` in the first bucket whose edge is ≥ v; a
+    final implicit ``+inf`` bucket catches the tail.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be sorted ascending")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, edge in enumerate(self.bounds):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments + the sampled time series they produce."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.sample_times: List[float] = []
+        self.samples: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name in self.counters:
+            return self.counters[name]
+        self._claim(name)
+        c = Counter(name)
+        self.counters[name] = c
+        # a metric registered mid-run backfills zeros for earlier samples
+        self.samples[name] = [0.0] * len(self.sample_times)
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        self._claim(name)
+        g = Gauge(name, fn)
+        self.gauges[name] = g
+        self.samples[name] = [0.0] * len(self.sample_times)
+        return g
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        self._claim(name)
+        h = Histogram(name, bounds)
+        self.histograms[name] = h
+        return h
+
+    def _claim(self, name: str) -> None:
+        if name in self.counters or name in self.gauges or name in self.histograms:
+            raise ValueError(f"metric {name!r} already registered")
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter, auto-registering it on first use."""
+        self.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+    # sampling / export
+    # ------------------------------------------------------------------
+    def sample(self, now: float) -> None:
+        """Snapshot every counter and gauge at simulated time ``now``."""
+        if self.sample_times and now < self.sample_times[-1]:
+            raise ValueError(f"sample time {now} precedes previous sample")
+        self.sample_times.append(now)
+        for name, c in self.counters.items():
+            self.samples[name].append(c.value)
+        for name, g in self.gauges.items():
+            self.samples[name].append(g.read())
+
+    def to_series(self, title: str = "run timeseries") -> SweepSeries:
+        names = sorted(self.samples)
+        if not names:
+            raise ValueError("no counters or gauges registered")
+        series = SweepSeries("t_ms", names, title=title)
+        for i, t in enumerate(self.sample_times):
+            series.add(t, **{name: self.samples[name][i] for name in names})
+        return series
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self.counters)}c/{len(self.gauges)}g/"
+            f"{len(self.histograms)}h, {len(self.sample_times)} samples>"
+        )

@@ -1,0 +1,216 @@
+"""The trace bus: typed, time-stamped events from every simulation layer.
+
+A :class:`TraceBus` is created by the session when a :class:`TraceConfig`
+is passed and hung on the environment (``env.tracer``); every
+instrumentation site in the engine, the overlay, the protocols, and the
+streaming agents publishes through it with a single guarded call::
+
+    tr = self.env.tracer
+    if tr is not None:
+        tr.emit("msg.send", src, dst=dst, kind=kind)
+
+so a session without tracing pays exactly one ``None`` check per hook.
+
+Event kinds form a dotted taxonomy; the prefix before the first dot is
+the event's *category*, which :attr:`TraceConfig.categories` filters on:
+
+========== =====================================================
+category   kinds
+========== =====================================================
+``msg``    ``msg.send`` ``msg.recv`` ``msg.drop``
+           ``msg.retransmit`` ``msg.give_up``
+``peer``   ``peer.activate`` ``peer.crash`` ``peer.rejoin``
+           ``peer.stream_start``
+``wave``   ``wave.start`` ``wave.end`` (flooding-wave δ-rounds)
+``detector`` ``detector.suspect`` ``detector.confirm``
+``buffer`` ``buffer.underrun`` ``buffer.overrun``
+``recoord`` ``recoord.reissue``
+========== =====================================================
+
+All payload values are JSON primitives, so a trace serializes verbatim
+(see :mod:`repro.obs.exporters`) and two equal-seed runs produce
+byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Environment
+
+#: drop reasons that terminate an in-flight message (a ``sender_down``
+#: drop never entered a channel, so it does not decrement the gauge)
+_IN_FLIGHT_DROPS = frozenset({"control_loss", "channel_loss", "dst_down"})
+
+#: message kinds that belong to the coordination plane (not media)
+CONTROL_KINDS: FrozenSet[str] = frozenset(
+    {"request", "control", "confirm", "reject", "start", "offer",
+     "prepare", "ready", "ack", "heartbeat", "repair", "adapt"}
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observation: simulated time, dotted kind, subject, payload."""
+
+    ts: float
+    kind: str
+    subject: str
+    data: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def category(self) -> str:
+        return self.kind.split(".", 1)[0]
+
+    def payload(self) -> Dict[str, Any]:
+        return dict(self.data)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to record and how much.
+
+    ``categories=None`` records every category; otherwise only kinds whose
+    prefix is listed.  ``max_events`` bounds memory on long churn runs —
+    once hit, further events are counted (``TraceBus.dropped_events``) but
+    not stored.  ``metrics`` enables the time-series registry, sampled
+    every ``sample_period_deltas`` δ for at most ``max_samples`` ticks.
+    """
+
+    categories: Optional[FrozenSet[str]] = None
+    max_events: int = 200_000
+    metrics: bool = True
+    sample_period_deltas: float = 1.0
+    max_samples: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if self.sample_period_deltas <= 0:
+            raise ValueError("sample_period_deltas must be positive")
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+
+    def wants(self, kind: str) -> bool:
+        return (
+            self.categories is None
+            or kind.split(".", 1)[0] in self.categories
+        )
+
+
+@dataclass
+class TraceBus:
+    """Session-owned event recorder every instrumented layer publishes to.
+
+    Besides the ordered event log, the bus maintains cheap live counters
+    (events by kind, in-flight control messages) that the metrics
+    registry's gauges read — these are updated on *every* emit, before
+    category filtering, so the gauges stay meaningful even when the
+    ``msg`` firehose itself is filtered out of the log.
+    """
+
+    config: TraceConfig
+    env: "Environment"
+    events: List[TraceEvent] = field(default_factory=list)
+    #: events suppressed by the max_events cap (not by category filters)
+    dropped_events: int = 0
+    #: every subject that should get its own exporter track (leaf + peers)
+    participants: List[str] = field(default_factory=list)
+    #: live count of control messages on the wire (send − recv − drop)
+    in_flight_control: int = 0
+    counts_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: registry whose counters mirror send totals; wired by the session
+    registry: Optional["MetricsRegistry"] = None
+    #: highest flooding round a ``wave.start`` was recorded for
+    _waves_seen: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, subject: str, /, **data: Any) -> None:
+        """Record one event at the current simulated time."""
+        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+        if kind == "msg.send":
+            if data.get("kind") in CONTROL_KINDS:
+                self.in_flight_control += 1
+                if self.registry is not None:
+                    self.registry.inc("ctrl_sends")
+            elif self.registry is not None:
+                self.registry.inc("media_sends")
+        elif kind == "msg.recv":
+            if data.get("kind") in CONTROL_KINDS and self.in_flight_control > 0:
+                self.in_flight_control -= 1
+        elif kind == "msg.drop":
+            if (
+                data.get("kind") in CONTROL_KINDS
+                and data.get("reason") in _IN_FLIGHT_DROPS
+                and self.in_flight_control > 0
+            ):
+                self.in_flight_control -= 1
+        if not self.config.wants(kind):
+            return
+        if len(self.events) >= self.config.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(
+                ts=self.env.now,
+                kind=kind,
+                subject=subject,
+                data=tuple(sorted(data.items())),
+            )
+        )
+
+    def wave_start(self, round_: int, subject: str, /, **data: Any) -> None:
+        """Emit ``wave.start`` once per flooding round (first sender wins)."""
+        if round_ in self._waves_seen:
+            return
+        self._waves_seen.add(round_)
+        self.emit("wave.start", subject, round=round_, **data)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def finalize(self) -> None:
+        """Close open flooding waves with ``wave.end`` events.
+
+        A wave's end is not locally observable while flooding (the last
+        activation of round *r* may land anywhere in the overlay), so the
+        session calls this at collection time: each round that recorded an
+        activation gets a ``wave.end`` stamped at its last activation
+        instant, and the log is re-sorted into time order.
+        """
+        if any(e.kind == "wave.end" for e in self.events):
+            return  # already finalized (collect ran twice)
+        last_by_round: Dict[int, float] = {}
+        count_by_round: Dict[int, int] = {}
+        for event in self.of_kind("peer.activate"):
+            payload = event.payload()
+            r = payload["round"]
+            last_by_round[r] = max(last_by_round.get(r, event.ts), event.ts)
+            count_by_round[r] = count_by_round.get(r, 0) + 1
+        for r in sorted(last_by_round):
+            if not self.config.wants("wave.end"):
+                break
+            self.events.append(
+                TraceEvent(
+                    ts=last_by_round[r],
+                    kind="wave.end",
+                    subject="session",
+                    data=(("activated", count_by_round[r]), ("round", r)),
+                )
+            )
+        # stable sort: simultaneous events keep their emission order
+        self.events.sort(key=lambda e: e.ts)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceBus {len(self.events)} events, "
+            f"{self.dropped_events} dropped, "
+            f"in-flight ctrl={self.in_flight_control}>"
+        )

@@ -38,6 +38,12 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: observability hook — a :class:`repro.obs.trace.TraceBus` when the
+        #: owning session enables tracing, ``None`` otherwise.  Every
+        #: instrumentation site in the model layers reads this slot and
+        #: guards on ``None``, so a trace-less run pays one attribute check
+        #: per hook and nothing more.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # inspection

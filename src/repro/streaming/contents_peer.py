@@ -125,6 +125,12 @@ class ContentsPeerAgent:
     def add_stream(self, stream: Stream) -> None:
         self.streams.append(stream)
         if not stream.exhausted:
+            if self.env.tracer is not None:
+                self.env.tracer.emit(
+                    "peer.stream_start",
+                    self.peer_id,
+                    packets=stream.remaining(),
+                )
             self.env.process(self._transmit_loop(stream, self._epoch))
         if (
             self.session.detector is not None

@@ -228,10 +228,14 @@ class FailureDetector:
 
     def _suspect(self, peer_id: str, st: PeerHealth) -> None:
         st.suspected_at = self.session.env.now
-        if not self.session.peers[peer_id].crashed:
+        false_accusation = not self.session.peers[peer_id].crashed
+        if false_accusation:
             # ground truth (simulator oracle, metrics only): the peer is
             # actually up — a slow or silent-but-alive peer was accused
             self.false_suspicions += 1
+        tracer = self.session.env.tracer
+        if tracer is not None:
+            tracer.emit("detector.suspect", peer_id, false=false_accusation)
 
     def _confirm(self, peer_id: str, st: PeerHealth) -> None:
         now = self.session.env.now
@@ -239,6 +243,13 @@ class FailureDetector:
         crash_at = self.session.crash_time_of(peer_id)
         if crash_at is not None:
             self.detection_latencies[peer_id] = now - crash_at
+        tracer = self.session.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "detector.confirm",
+                peer_id,
+                latency=(now - crash_at) if crash_at is not None else None,
+            )
         if self.on_confirm is not None:
             self.on_confirm(peer_id)
 

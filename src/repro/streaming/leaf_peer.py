@@ -83,6 +83,10 @@ class LeafPeerAgent:
         now = self.env.now
         if self._rho is not None and not self._admit(now):
             self.receive_overruns += 1
+            if self.env.tracer is not None:
+                self.env.tracer.emit(
+                    "buffer.overrun", self.peer_id, src=message.src
+                )
             return
         pkt = message.body
         self.arrival_times.append(now)
@@ -128,6 +132,12 @@ class LeafPeerAgent:
             played = self.buffer.play_next(self.env.now)
             if played is None:
                 misses += 1
+                if self.env.tracer is not None:
+                    self.env.tracer.emit(
+                        "buffer.underrun",
+                        self.peer_id,
+                        seq=self.buffer.next_needed,
+                    )
                 # after persistent stalls, skip to bound the run time
                 if misses > 3:
                     self.buffer.skip()

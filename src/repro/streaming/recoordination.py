@@ -93,6 +93,13 @@ class ReCoordinator:
                 latency=(now - crash_at) if crash_at is not None else None,
             )
         )
+        if session.env.tracer is not None:
+            session.env.tracer.emit(
+                "recoord.reissue",
+                peer_id,
+                residual=len(residual),
+                targets=len(assignments),
+            )
         session.protocol.reissue(session, peer_id, assignments)
 
     # ------------------------------------------------------------------

@@ -15,6 +15,8 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel
 from repro.net.message import Message
 from repro.net.overlay import ControlPlane, Overlay, RetransmitPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBus, TraceConfig
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.streaming.contents_peer import ContentsPeerAgent
@@ -73,6 +75,15 @@ class SessionResult:
     recoordinations: int = 0
     #: mean ms from ground-truth crash to residual re-flood, when any
     mean_handoff_latency: Optional[float] = None
+    # --- observability handles (present only when tracing was enabled) ---
+    #: the session's :class:`~repro.obs.trace.TraceBus`, finalized
+    trace: Optional["TraceBus"] = field(
+        default=None, repr=False, compare=False
+    )
+    #: sampled run time series as a :class:`~repro.metrics.series.SweepSeries`
+    timeseries: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_active(self) -> bool:
@@ -133,11 +144,18 @@ class StreamingSession:
         retransmit_policy: Optional[RetransmitPolicy] = None,
         detector_policy: Optional[DetectorPolicy] = None,
         churn_plan: Optional[ChurnPlan] = None,
+        trace: Optional[TraceConfig] = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
+        # --- observability (opt-in; every hook no-ops when tracer=None) ---
+        self.trace_bus: Optional[TraceBus] = None
+        self.metrics_registry: Optional[MetricsRegistry] = None
+        if trace is not None:
+            self.trace_bus = TraceBus(trace, self.env)
+            self.env.tracer = self.trace_bus
         latency_factory = None
         if latency is None:
             # Default: each directed pair gets a constant latency drawn once
@@ -224,6 +242,71 @@ class StreamingSession:
             self.adaptation_monitor = RateAdaptationMonitor(
                 self, adaptation_policy
             )
+        if self.trace_bus is not None:
+            self.trace_bus.participants = [self.leaf.peer_id, *self.peer_ids]
+            if trace.metrics:
+                self._wire_metrics(trace)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _wire_metrics(self, trace: TraceConfig) -> None:
+        """Register the run's instruments and start the sim-time sampler."""
+        registry = MetricsRegistry()
+        self.metrics_registry = registry
+        self.trace_bus.registry = registry
+        registry.counter("ctrl_sends")
+        registry.counter("media_sends")
+        registry.gauge(
+            "active_peers",
+            lambda: sum(
+                1 for p in self.peers.values() if p.active and not p.crashed
+            ),
+        )
+        registry.gauge(
+            "in_flight_control", lambda: self.trace_bus.in_flight_control
+        )
+        registry.gauge("buffer_level", lambda: self.leaf.buffer.level)
+        registry.gauge("receipt_rate", self._windowed_receipt_rate)
+        registry.histogram(
+            "arrival_gap_ms",
+            bounds=[b / self.config.tau for b in (0.25, 0.5, 1, 2, 4, 8)],
+        )
+        self._rr_prev = (0, self.env.now)
+        self._gap_cursor = 0
+        period = trace.sample_period_deltas * self.config.delta
+        self.env.process(self._sample_loop(registry, period, trace.max_samples))
+
+    def _windowed_receipt_rate(self) -> float:
+        """Leaf arrivals over the last sample window, normalized to τ."""
+        now = self.env.now
+        count = len(self.leaf.arrival_times)
+        prev_count, prev_t = self._rr_prev
+        self._rr_prev = (count, now)
+        if now <= prev_t:
+            return 0.0
+        return (count - prev_count) / (now - prev_t) / self.config.tau
+
+    def _sample_loop(self, registry: MetricsRegistry, period: float, max_samples: int):
+        """Snapshot all instruments once per period of simulated time.
+
+        Self-terminating: stops when the leaf holds the full content, when
+        the event queue has otherwise drained (nothing left to observe), or
+        after ``max_samples`` ticks — so tracing never keeps a simulation
+        alive materially past its natural end.
+        """
+        hist = registry.histograms["arrival_gap_ms"]
+        for _ in range(max_samples):
+            yield self.env.timeout(period)
+            registry.sample(self.env.now)
+            arrivals = self.leaf.arrival_times
+            while self._gap_cursor + 1 < len(arrivals):
+                hist.observe(
+                    arrivals[self._gap_cursor + 1] - arrivals[self._gap_cursor]
+                )
+                self._gap_cursor += 1
+            if self.leaf.decoder.complete or len(self.env) == 0:
+                return
 
     # ------------------------------------------------------------------
     # reliable control plane
@@ -303,6 +386,8 @@ class StreamingSession:
     # ------------------------------------------------------------------
     def record_activation(self, peer_id: str, time: float, hops: int) -> None:
         self.activation_log.append((peer_id, time, hops))
+        if self.trace_bus is not None:
+            self.trace_bus.emit("peer.activate", peer_id, round=hops)
 
     @property
     def selection_rng(self):
@@ -363,6 +448,13 @@ class StreamingSession:
         decoder = self.leaf.decoder
         det = self.detector
         rec = self.recoordinator
+        timeseries = None
+        if self.trace_bus is not None:
+            self.trace_bus.finalize()
+            if self.metrics_registry is not None:
+                timeseries = self.metrics_registry.to_series(
+                    title=f"{self.protocol.name} run timeseries"
+                )
         handoff_latencies = (
             [h.latency for h in rec.handoffs if h.latency is not None]
             if rec is not None
@@ -405,6 +497,8 @@ class StreamingSession:
                 if handoff_latencies
                 else None
             ),
+            trace=self.trace_bus,
+            timeseries=timeseries,
         )
 
     def __repr__(self) -> str:

@@ -27,6 +27,56 @@ def test_seed_changes_nothing_structural(capsys):
     assert "Figure 10" in out
 
 
+def test_trace_subcommand_emits_timeline_and_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "trace", "--protocol", "tcop", "--quick",
+            "--n", "12", "--H", "4", "--trace-out", str(out),
+        ]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    # the wave timeline, rendered as markdown, with the round count the
+    # session reported
+    assert "coordination timeline" in printed
+    assert "| round |" in printed
+    assert "rounds=" in printed
+    # the chrome trace-event document is valid JSON with ≥1 named track
+    # per participant (leaf + 12 peers + the waves track)
+    doc = json.loads(out.read_text())
+    tracks = [
+        e for e in doc["traceEvents"] if e.get("name") == "thread_name"
+    ]
+    assert len(tracks) == 1 + 1 + 12
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_trace_subcommand_optional_outputs(tmp_path, capsys):
+    import json
+
+    jsonl = tmp_path / "trace.jsonl"
+    summary = tmp_path / "summary.json"
+    rc = main(
+        [
+            "trace", "--protocol", "dcop", "--quick",
+            "--n", "10", "--H", "4",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--jsonl-out", str(jsonl),
+            "--summary-out", str(summary),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    lines = jsonl.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+    doc = json.loads(summary.read_text())
+    assert doc["result"]["type"] == "session_result"
+    assert doc["timeseries"]["type"] == "series"
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])

@@ -67,6 +67,62 @@ def test_save_load_file_roundtrip(tmp_path):
     assert loaded["s"].series("rounds") == [9, 2]
 
 
+def sample_result():
+    from repro.core import DCoP, ProtocolConfig
+    from repro.streaming import StreamingSession
+
+    config = ProtocolConfig(n=8, H=4, fault_margin=1, content_packets=60, seed=2)
+    return StreamingSession(config, DCoP()).run()
+
+
+def test_session_result_roundtrip():
+    from repro.metrics import session_result_from_dict, session_result_to_dict
+    from repro.streaming import SessionResult
+
+    result = sample_result()
+    payload = session_result_to_dict(result)
+    assert payload["type"] == "session_result"
+    restored = session_result_from_dict(payload)
+    assert isinstance(restored, SessionResult)
+    assert restored == result
+    assert restored.config == result.config
+    # the round-trip survives actual JSON text, not just dicts
+    import json
+
+    assert session_result_from_dict(json.loads(json.dumps(payload))) == result
+
+
+def test_session_result_roundtrip_drops_runtime_handles():
+    """trace/timeseries are runtime objects, not part of the artifact."""
+    from repro import TraceConfig
+    from repro.core import DCoP, ProtocolConfig
+    from repro.metrics import session_result_from_dict, session_result_to_dict
+    from repro.streaming import StreamingSession
+
+    config = ProtocolConfig(n=8, H=4, fault_margin=1, content_packets=60, seed=2)
+    traced = StreamingSession(config, DCoP(), trace=TraceConfig()).run()
+    payload = session_result_to_dict(traced)
+    assert "trace" not in payload["data"]
+    assert "timeseries" not in payload["data"]
+    restored = session_result_from_dict(payload)
+    assert restored.trace is None and restored.timeseries is None
+    # handles are compare=False, so equality still holds
+    assert restored == traced
+
+
+def test_session_result_artifact_dispatch_and_file_roundtrip(tmp_path):
+    result = sample_result()
+    assert artifact_to_dict(result)["type"] == "session_result"
+    path = tmp_path / "run.json"
+    save_artifacts({"run": result, "t": sample_table()}, path)
+    loaded = load_artifacts(path)
+    assert loaded["run"] == result
+    with pytest.raises(ValueError):
+        from repro.metrics import session_result_from_dict
+
+        session_result_from_dict({"type": "table"})
+
+
 def test_cli_out_writes_json(tmp_path, capsys):
     from repro.experiments.cli import main
 

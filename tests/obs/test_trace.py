@@ -1,0 +1,165 @@
+"""Trace bus behavior: emission, filtering, caps, and session wiring."""
+
+import pytest
+
+from repro.core import DCoP, ProtocolConfig, TCoP
+from repro.obs import CONTROL_KINDS, TraceBus, TraceConfig, TraceEvent
+from repro.sim.engine import Environment
+from repro.streaming import StreamingSession
+
+
+def run_traced(proto, trace=None, **cfg_kw):
+    defaults = dict(n=12, H=4, fault_margin=1, content_packets=100, seed=5)
+    defaults.update(cfg_kw)
+    config = ProtocolConfig(**defaults)
+    return StreamingSession(config, proto(), trace=trace or TraceConfig()).run()
+
+
+# ----------------------------------------------------------------------
+# unit-level bus behavior
+# ----------------------------------------------------------------------
+def test_emit_records_current_sim_time_and_sorted_payload():
+    env = Environment()
+    bus = TraceBus(TraceConfig(), env)
+    bus.emit("msg.send", "p0", kind="control", dst="p1")
+    (event,) = bus.events
+    assert event.ts == env.now
+    assert event.kind == "msg.send"
+    assert event.subject == "p0"
+    # payload tuples are key-sorted so serialization is deterministic
+    assert event.data == (("dst", "p1"), ("kind", "control"))
+    assert event.payload() == {"dst": "p1", "kind": "control"}
+    assert event.category == "msg"
+
+
+def test_payload_may_carry_kind_and_subject_keys():
+    # emit's own parameters are positional-only precisely so the payload
+    # can use these natural names
+    bus = TraceBus(TraceConfig(), Environment())
+    bus.emit("msg.drop", "p3", kind="offer", subject="unrelated")
+    assert bus.events[0].payload()["kind"] == "offer"
+
+
+def test_category_filter_suppresses_storage_not_counters():
+    bus = TraceBus(TraceConfig(categories=frozenset({"peer"})), Environment())
+    bus.emit("msg.send", "p0", kind="control")
+    bus.emit("peer.activate", "p0", round=1)
+    assert [e.kind for e in bus.events] == ["peer.activate"]
+    # live accounting still saw the filtered message
+    assert bus.counts_by_kind["msg.send"] == 1
+    assert bus.in_flight_control == 1
+
+
+def test_max_events_cap_counts_overflow():
+    bus = TraceBus(TraceConfig(max_events=3), Environment())
+    for i in range(10):
+        bus.emit("peer.activate", f"p{i}", round=1)
+    assert len(bus.events) == 3
+    assert bus.dropped_events == 7
+    assert bus.counts_by_kind["peer.activate"] == 10
+
+
+def test_in_flight_control_gauge_lifecycle():
+    bus = TraceBus(TraceConfig(), Environment())
+    bus.emit("msg.send", "a", kind="request")
+    bus.emit("msg.send", "a", kind="offer")
+    bus.emit("msg.send", "a", kind="media")  # media never counts
+    assert bus.in_flight_control == 2
+    bus.emit("msg.recv", "b", kind="request")
+    assert bus.in_flight_control == 1
+    bus.emit("msg.drop", "b", kind="offer", reason="control_loss")
+    assert bus.in_flight_control == 0
+    # a sender_down drop never entered the channel: no decrement (and
+    # the gauge clamps at zero regardless)
+    bus.emit("msg.send", "a", kind="start")
+    bus.emit("msg.drop", "a", kind="start", reason="sender_down")
+    assert bus.in_flight_control == 1
+
+
+def test_wave_start_dedupes_rounds():
+    bus = TraceBus(TraceConfig(), Environment())
+    bus.wave_start(1, "leaf", targets=4)
+    bus.wave_start(1, "p2", targets=3)  # second sender of round 1: ignored
+    bus.wave_start(2, "p2", targets=3)
+    assert [e.payload()["round"] for e in bus.of_kind("wave.start")] == [1, 2]
+
+
+def test_finalize_closes_waves_at_last_activation_and_is_idempotent():
+    env = Environment()
+    bus = TraceBus(TraceConfig(), env)
+    bus.wave_start(1, "leaf")
+    bus.emit("peer.activate", "p0", round=1)
+    env.timeout(7.0)
+    env.run()  # drains the timeout: now == 7.0
+    bus.emit("peer.activate", "p1", round=1)
+    bus.finalize()
+    (end,) = bus.of_kind("wave.end")
+    assert end.ts == 7.0
+    assert end.payload() == {"activated": 2, "round": 1}
+    bus.finalize()  # collect may run twice; no duplicate wave.end
+    assert len(bus.of_kind("wave.end")) == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(max_events=0)
+    with pytest.raises(ValueError):
+        TraceConfig(sample_period_deltas=0)
+    with pytest.raises(ValueError):
+        TraceConfig(max_samples=0)
+
+
+def test_trace_event_is_frozen():
+    event = TraceEvent(ts=0.0, kind="msg.send", subject="p0")
+    with pytest.raises(AttributeError):
+        event.ts = 1.0
+
+
+# ----------------------------------------------------------------------
+# session wiring
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("proto", [DCoP, TCoP], ids=["dcop", "tcop"])
+def test_session_records_full_coordination(proto):
+    result = run_traced(proto)
+    bus = result.trace
+    assert bus is not None
+    # every live peer activated exactly once
+    activations = bus.of_kind("peer.activate")
+    assert len(activations) == len({e.subject for e in activations})
+    assert {e.subject for e in activations} == set(result.activation_times)
+    # the wave rounds recorded match the result's round count
+    rounds = {e.payload()["round"] for e in activations}
+    assert max(rounds) == result.rounds
+    # control traffic flowed and the log is time-ordered
+    assert any(
+        e.payload().get("kind") in CONTROL_KINDS for e in bus.of_kind("msg.send")
+    )
+    assert [e.ts for e in bus.events] == sorted(e.ts for e in bus.events)
+    # all in-flight control messages were accounted to completion
+    assert bus.in_flight_control == 0
+
+
+def test_untraced_session_has_no_observability_state():
+    config = ProtocolConfig(n=12, H=4, fault_margin=1, content_packets=100, seed=5)
+    result = StreamingSession(config, DCoP()).run()
+    assert result.trace is None
+    assert result.timeseries is None
+
+
+@pytest.mark.parametrize("proto", [DCoP, TCoP], ids=["dcop", "tcop"])
+def test_tracing_does_not_perturb_the_simulation(proto):
+    """The zero-overhead contract's stronger half: identical trajectory."""
+    traced = run_traced(proto)
+    config = ProtocolConfig(n=12, H=4, fault_margin=1, content_packets=100, seed=5)
+    bare = StreamingSession(config, proto()).run()
+    assert traced.summary() == bare.summary()
+    assert traced.activation_times == bare.activation_times
+    assert traced.elapsed == bare.elapsed
+
+
+def test_category_filtered_session_still_tracks_messages():
+    result = run_traced(DCoP, trace=TraceConfig(categories=frozenset({"wave", "peer"})))
+    bus = result.trace
+    assert not bus.of_kind("msg.send")  # filtered from the log…
+    assert bus.counts_by_kind["msg.send"] > 0  # …but still counted
+    assert bus.of_kind("peer.activate")

@@ -27,6 +27,7 @@ def test_all_names_resolve():
         "repro.streaming",
         "repro.analysis",
         "repro.metrics",
+        "repro.obs",
         "repro.experiments",
         "repro.groupcomm",
         "repro.viz",
