@@ -1,0 +1,66 @@
+"""Bench the parallel sweep executor: identical results, shorter wall clock.
+
+Runs the same small Figure-10 grid twice — serial and through a
+``ParallelExecutor`` — asserting the results are byte-identical and
+recording both wall times plus the speedup into
+``BENCH_parallel_sweep.json``.  The ≥2× speedup assertion only applies on
+machines with at least four cores; the determinism assertion always does.
+"""
+
+import os
+import time
+
+from repro.core import DCoP, ProtocolConfig
+from repro.experiments import ParallelExecutor, SerialExecutor, sweep
+from repro.metrics.io import session_result_to_dict
+
+_HS = [10, 20, 30, 40, 50, 60, 80, 100]
+_JOBS = 4
+
+
+def _configs():
+    return [
+        ProtocolConfig(
+            n=100, H=h, fault_margin=1, content_packets=400, seed=0
+        )
+        for h in _HS
+    ]
+
+
+def _timed_sweep(executor):
+    start = time.perf_counter()
+    results = sweep(DCoP, _configs(), repetitions=1, executor=executor)
+    return time.perf_counter() - start, results
+
+
+def test_bench_parallel_sweep(benchmark, bench_scalars):
+    serial_s, serial = benchmark.pedantic(
+        lambda: _timed_sweep(SerialExecutor()), rounds=1, iterations=1
+    )
+    parallel_s, parallel = _timed_sweep(ParallelExecutor(jobs=_JOBS))
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / max(1e-9, parallel_s)
+    bench_scalars["serial_wall_s"] = round(serial_s, 3)
+    bench_scalars["parallel_wall_s"] = round(parallel_s, 3)
+    bench_scalars["speedup"] = round(speedup, 2)
+    bench_scalars["jobs"] = _JOBS
+    bench_scalars["cpu_count"] = cores
+    print()
+    print(
+        f"serial {serial_s:.2f}s vs parallel(jobs={_JOBS}) {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x on {cores} cores"
+    )
+
+    # determinism: equal seeds => identical results, whatever the executor
+    flatten = lambda groups: [  # noqa: E731
+        session_result_to_dict(r) for reps in groups for r in reps
+    ]
+    assert flatten(serial) == flatten(parallel)
+
+    # the speedup claim needs actual cores to parallelize over
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {_JOBS} jobs on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

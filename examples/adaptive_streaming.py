@@ -11,23 +11,24 @@ finishes on time.
 Run:  python examples/adaptive_streaming.py
 """
 
-from repro import ProtocolConfig, FaultPlan, ScheduleBasedCoordination, StreamingSession
+from repro import FaultPlan, ProtocolConfig, ProtocolSpec, SessionSpec
 from repro.streaming import RateAdaptationPolicy
 
 
 def run(adaptive: bool):
-    config = ProtocolConfig(
-        n=12, H=4, fault_margin=0, tau=1.0, delta=5.0,
-        content_packets=600, seed=9,
+    base = SessionSpec(
+        config=ProtocolConfig(
+            n=12, H=4, fault_margin=0, tau=1.0, delta=5.0,
+            content_packets=600, seed=9,
+        ),
+        protocol=ProtocolSpec("schedule_based"),
     )
-    probe = StreamingSession(config, ScheduleBasedCoordination())
-    victim = probe.leaf_select(config.H)[2]
-    session = StreamingSession(
-        config,
-        ScheduleBasedCoordination(),
+    probe = base.build()
+    victim = probe.leaf_select(base.config.H)[2]
+    session = base.replace(
         fault_plan=FaultPlan().degrade(victim, at=80.0, factor=0.1),
         adaptation_policy=RateAdaptationPolicy() if adaptive else None,
-    )
+    ).build()
     result = session.run()
     return victim, session, result
 

@@ -19,36 +19,36 @@ Run:  python examples/churn_streaming.py
 
 from repro import (
     ChurnPlan,
-    DCoP,
     DetectorPolicy,
+    LossSpec,
     ProtocolConfig,
+    ProtocolSpec,
     RetransmitPolicy,
-    StreamingSession,
+    SessionSpec,
 )
-from repro.net.loss import BernoulliLoss
 from repro.streaming import ChurnEvent
 
 
 def run(tolerant: bool):
-    config = ProtocolConfig(
-        n=16,
-        H=6,
-        fault_margin=1,
-        tau=1.0,
-        delta=8.0,
-        content_packets=400,
-        seed=32,
-    )
-    session = StreamingSession(
-        config,
-        DCoP(),
-        control_loss_factory=lambda: BernoulliLoss(0.10),
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=16,
+            H=6,
+            fault_margin=1,
+            tau=1.0,
+            delta=8.0,
+            content_packets=400,
+            seed=32,
+        ),
+        protocol=ProtocolSpec("dcop"),
+        control_loss=LossSpec("bernoulli", {"p": 0.10}),
         churn_plan=ChurnPlan(
             rate_per_delta=0.06, min_live=8, mean_downtime_deltas=8.0
         ),
         retransmit_policy=RetransmitPolicy() if tolerant else None,
         detector_policy=DetectorPolicy() if tolerant else None,
     )
+    session = spec.build()
     return session, session.run()
 
 

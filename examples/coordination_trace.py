@@ -8,15 +8,17 @@ the overlay traffic breakdown.
 Run:  python examples/coordination_trace.py
 """
 
-from repro import DCoP, ProtocolConfig, StreamingSession, TCoP
+from repro import ProtocolConfig, ProtocolSpec, SessionSpec
 from repro.viz import activation_timeline, render_transmission_tree, traffic_summary
 
 
 def show(protocol, title):
-    config = ProtocolConfig(
-        n=16, H=4, fault_margin=1, delta=10.0, content_packets=300, seed=6
-    )
-    session = StreamingSession(config, protocol)
+    session = SessionSpec(
+        config=ProtocolConfig(
+            n=16, H=4, fault_margin=1, delta=10.0, content_packets=300, seed=6
+        ),
+        protocol=protocol,
+    ).build()
     session.run()
     print(f"==== {title} ====")
     print(render_transmission_tree(session))
@@ -25,8 +27,8 @@ def show(protocol, title):
 
 
 def main() -> None:
-    show(TCoP(), "TCoP — the Figure 9 transmission tree")
-    show(DCoP(), "DCoP — redundant flooding (no unique parents)")
+    show(ProtocolSpec("tcop"), "TCoP — the Figure 9 transmission tree")
+    show(ProtocolSpec("dcop"), "DCoP — redundant flooding (no unique parents)")
 
 
 if __name__ == "__main__":

@@ -7,31 +7,31 @@ channels in a bursty manner".  This example runs the same stream over
 Gilbert–Elliott bursty channels with and without parity and shows how much
 of the content each configuration actually delivers.
 
+The bursty channel is requested declaratively — ``LossSpec("bursty",
+{"rate": p})`` names a registered factory (mean burst 3 packets,
+stationary loss ``p``) instead of passing a closure, so the spec stays a
+picklable value.
+
 Run:  python examples/lossy_network.py
 """
 
-from repro import DCoP, ProtocolConfig, StreamingSession
-from repro.net.loss import GilbertElliottLoss
+from repro import LossSpec, ProtocolConfig, SessionSpec
 
 
 def run(fault_margin: int, loss: float) -> tuple[float, int, float]:
-    config = ProtocolConfig(
-        n=20,
-        H=8,
-        fault_margin=fault_margin,
-        tau=1.0,
-        delta=5.0,
-        content_packets=800,
-        seed=13,
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=20,
+            H=8,
+            fault_margin=fault_margin,
+            tau=1.0,
+            delta=5.0,
+            content_packets=800,
+            seed=13,
+        ),
+        loss=LossSpec("bursty", {"rate": loss}),
     )
-
-    def loss_factory():
-        # mean burst length 3 packets, stationary loss = `loss`
-        p_bg = 1 / 3
-        p_gb = loss * p_bg / (1 - loss)
-        return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
-
-    result = StreamingSession(config, DCoP(), loss_factory=loss_factory).run()
+    result = spec.run()
     return result.delivery_ratio, result.recovered_packets, result.receipt_rate
 
 

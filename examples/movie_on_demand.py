@@ -13,26 +13,28 @@ recovered byte against the original.
 Run:  python examples/movie_on_demand.py
 """
 
-from repro import DCoP, FaultPlan, ProtocolConfig, StreamingSession
+from repro import FaultPlan, ProtocolConfig, SessionSpec
 
 
 def main() -> None:
-    config = ProtocolConfig(
-        n=20,
-        H=8,
-        fault_margin=1,
-        tau=2.0,                # 2 packets/ms
-        delta=5.0,
-        content_packets=1200,   # 10 minutes of "movie" at demo scale
-        packet_size=512,
-        with_payload=True,      # real bytes → real XOR recovery
-        seed=7,
+    base = SessionSpec(
+        config=ProtocolConfig(
+            n=20,
+            H=8,
+            fault_margin=1,
+            tau=2.0,                # 2 packets/ms
+            delta=5.0,
+            content_packets=1200,   # 10 minutes of "movie" at demo scale
+            packet_size=512,
+            with_payload=True,      # real bytes → real XOR recovery
+            seed=7,
+        ),
     )
 
     # find which peers the leaf will pick first (same seed, same choice),
     # then fail two of them at t=150ms and slow a third at t=200ms
-    probe = StreamingSession(config, DCoP())
-    first_wave = probe.leaf_select(config.H)
+    probe = base.build()
+    first_wave = probe.leaf_select(base.config.H)
     faults = (
         FaultPlan()
         .crash(first_wave[0], at=150.0)
@@ -40,9 +42,7 @@ def main() -> None:
         .degrade(first_wave[5], at=200.0, factor=0.5)
     )
 
-    session = StreamingSession(
-        config, DCoP(), playback=True, fault_plan=faults
-    )
+    session = base.replace(playback=True, fault_plan=faults).build()
     result = session.run()
 
     print(f"peers crashed mid-stream : {first_wave[0]}, {first_wave[3]}")

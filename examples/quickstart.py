@@ -5,10 +5,15 @@ Reproduces the paper's headline setting — 100 contents peers, a leaf peer,
 constant control delay δ — and prints the coordination metrics Figures
 10/12 are built from.
 
+A run is described by a :class:`repro.SessionSpec`: a frozen value holding
+the workload config plus declarative protocol/channel specs.  Specs
+pickle, so the same objects drive the parallel sweep executor
+(``examples/parallel_sweep.py``).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import DCoP, ProtocolConfig, StreamingSession, TCoP
+from repro import ProtocolConfig, ProtocolSpec, SessionSpec
 
 
 def main() -> None:
@@ -22,9 +27,10 @@ def main() -> None:
         content_packets=600,
         seed=42,
     )
+    spec = SessionSpec(config=config, protocol=ProtocolSpec("dcop"))
 
     print("== DCoP (redundant, flooding) ==")
-    result = StreamingSession(config, DCoP()).run()
+    result = spec.run()
     print(result.summary())
     print(f"  all 100 peers transmitting after {result.sync_time:.1f} ms "
           f"({result.rounds} rounds of δ={config.delta} ms)")
@@ -34,7 +40,7 @@ def main() -> None:
           f"delivery ratio {result.delivery_ratio:.3f}")
 
     print("\n== TCoP (non-redundant, tree-based) ==")
-    result = StreamingSession(config, TCoP()).run()
+    result = spec.replace(protocol=ProtocolSpec("tcop")).run()
     print(result.summary())
     print(f"  3-round handshakes → {result.rounds} rounds, "
           f"{result.control_packets_total} control packets "

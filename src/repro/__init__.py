@@ -4,10 +4,13 @@ Networks* (ICPP 2006).
 
 Quick start::
 
-    from repro import DCoP, ProtocolConfig, StreamingSession
+    from repro import ProtocolConfig, ProtocolSpec, SessionSpec
 
-    config = ProtocolConfig(n=100, H=60, fault_margin=1)
-    result = StreamingSession(config, DCoP()).run()
+    spec = SessionSpec(
+        config=ProtocolConfig(n=100, H=60, fault_margin=1),
+        protocol=ProtocolSpec("dcop"),
+    )
+    result = spec.run()
     print(result.summary())
 
 Package map:
@@ -41,7 +44,11 @@ from repro.streaming import (
     ChurnPlan,
     DetectorPolicy,
     FaultPlan,
+    LatencySpec,
+    LossSpec,
+    ProtocolSpec,
     SessionResult,
+    SessionSpec,
     StreamingSession,
 )
 
@@ -55,9 +62,13 @@ __all__ = [
     "DetectorPolicy",
     "FaultPlan",
     "RetransmitPolicy",
+    "LatencySpec",
+    "LossSpec",
     "MediaContent",
     "ProtocolConfig",
+    "ProtocolSpec",
     "SessionResult",
+    "SessionSpec",
     "ScheduleBasedCoordination",
     "SingleSourceStreaming",
     "StreamingSession",

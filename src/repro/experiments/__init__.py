@@ -4,9 +4,22 @@ Every experiment returns a :class:`~repro.metrics.SweepSeries` whose table
 prints the same rows the paper's figure plots; the paper's quoted reference
 points are embedded as ``PAPER_REFERENCE`` dicts so EXPERIMENTS.md can be
 regenerated mechanically.
+
+Sweeps describe their runs as picklable
+:class:`~repro.streaming.SessionSpec` values and execute them through an
+executor: :class:`SerialExecutor` (default) or :class:`ParallelExecutor`
+(``executor=ParallelExecutor(jobs=N)`` fans runs out across cores with
+identical results).
 """
 
-from repro.experiments.runner import run_session, sweep
+from repro.experiments.parallel import (
+    ParallelExecutor,
+    ProgressTick,
+    SerialExecutor,
+    SweepError,
+    run_specs,
+)
+from repro.experiments.runner import replication_specs, run_session, sweep
 from repro.experiments.fig10 import run_fig10, PAPER_FIG10_REFERENCE
 from repro.experiments.fig11 import run_fig11, PAPER_FIG11_REFERENCE
 from repro.experiments.fig12 import run_fig12, PAPER_FIG12_REFERENCE
@@ -29,6 +42,12 @@ __all__ = [
     "PAPER_FIG10_REFERENCE",
     "PAPER_FIG11_REFERENCE",
     "PAPER_FIG12_REFERENCE",
+    "ParallelExecutor",
+    "ProgressTick",
+    "SerialExecutor",
+    "SweepError",
+    "replication_specs",
+    "run_specs",
     "run_ams_overhead",
     "run_churn",
     "run_fault_tolerance",

@@ -25,6 +25,11 @@
   (HeteroDCoP) vs equal-split DCoP over uneven peers.
 * EX-L :func:`run_churn` — Poisson churn sweep with the full tolerance
   stack (failure detection, reliable control plane, re-coordination).
+
+Every entry point describes its runs as declarative
+:class:`~repro.streaming.spec.SessionSpec` values; the independent-cell
+sweeps (EX-E, EX-L) additionally take an ``executor`` to fan those cells
+out across cores.
 """
 
 from __future__ import annotations
@@ -41,12 +46,12 @@ from repro.core import (
     TCoP,
     UnicastChainCoordination,
 )
+from repro.experiments.parallel import run_specs
 from repro.experiments.runner import run_session
 from repro.metrics.series import SweepSeries
 from repro.metrics.table import Table
-from repro.net.loss import GilbertElliottLoss
 from repro.streaming.faults import FaultPlan
-from repro.streaming.session import StreamingSession
+from repro.streaming.spec import LossSpec, ProtocolSpec, SessionSpec
 
 _ALL_PROTOCOLS = [
     ("DCoP", DCoP, {}),
@@ -133,15 +138,15 @@ def run_fault_tolerance(
             # crash the first k of the peers the leaf will select: probe a
             # throwaway session with the same seed (the rng draw must use
             # the same size the protocol will use, or the sample differs)
-            probe = StreamingSession(cfg, protocol_cls())
+            probe = SessionSpec(config=cfg, protocol=protocol_cls).build()
             draw = 1 if protocol_cls is SingleSourceStreaming else H
             selected = probe.leaf_select(draw)
-            session = StreamingSession(cfg, protocol_cls())
             plan = FaultPlan()
             for pid in selected[: min(k, draw)]:
                 plan.crash(pid, crash_at)
-            plan.install(session)
-            result = session.run()
+            result = SessionSpec(
+                config=cfg, protocol=protocol_cls, fault_plan=plan
+            ).run()
             row[label] = round(result.delivery_ratio, 4)
         series.add(k, **row)
     return series
@@ -173,18 +178,12 @@ def run_loss_recovery(
                 delta=delta,
                 seed=seed,
             )
-
-            def loss_factory(p=p):
-                if p == 0:
-                    from repro.net.loss import NoLoss
-
-                    return NoLoss()
-                # mean burst length 3 packets, stationary loss = p
-                p_bg = 1 / 3
-                p_gb = p * p_bg / max(1e-12, (1 - p))
-                return GilbertElliottLoss(p_gb=min(1.0, p_gb), p_bg=p_bg)
-
-            result = run_session(DCoP, cfg, loss_factory=loss_factory)
+            # mean burst length 3 packets, stationary loss = p
+            result = SessionSpec(
+                config=cfg,
+                protocol=ProtocolSpec("dcop"),
+                loss=LossSpec("bursty", {"rate": p}),
+            ).run()
             row[label] = round(result.delivery_ratio, 4)
             if label == "with_parity":
                 row["recovered_with_parity"] = result.recovered_packets
@@ -222,14 +221,13 @@ def run_parity_sweep(
             delta=delta,
             seed=seed,
         )
-        clean = run_session(ScheduleBasedCoordination, cfg)
-
-        def loss_factory():
-            p_bg = 1 / 3
-            p_gb = loss_rate * p_bg / (1 - loss_rate)
-            return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
-
-        lossy = run_session(ScheduleBasedCoordination, cfg, loss_factory=loss_factory)
+        base = SessionSpec(
+            config=cfg, protocol=ProtocolSpec("schedule_based")
+        )
+        clean = base.run()
+        lossy = base.replace(
+            loss=LossSpec("bursty", {"rate": loss_rate})
+        ).run()
         series.add(
             m,
             receipt_rate=round(clean.receipt_rate, 4),
@@ -253,8 +251,6 @@ def run_heterogeneous(
     selected gets bandwidth ``1 + spread·i`` (spread 0 = homogeneous).
     Reports completion time and out-of-order arrivals for both allocators.
     """
-    from repro.core.heterogeneous import HeterogeneousScheduleCoordination
-
     values = list(spreads) if spreads is not None else [0.0, 0.5, 1.0, 2.0, 4.0]
     series = SweepSeries(
         "bw_spread",
@@ -274,10 +270,13 @@ def run_heterogeneous(
                 delta=delta,
                 seed=seed,
             )
-            proto = HeterogeneousScheduleCoordination(
-                bandwidths, use_timeslots=use_timeslots
-            )
-            session = StreamingSession(cfg, proto)
+            session = SessionSpec(
+                config=cfg,
+                protocol=ProtocolSpec(
+                    "hetero_schedule",
+                    {"bandwidths": bandwidths, "use_timeslots": use_timeslots},
+                ),
+            ).build()
             result = session.run()
             row[f"{label}_completed_at"] = (
                 round(result.completed_at, 1) if result.completed_at else None
@@ -303,8 +302,6 @@ def run_hetero_flooding(
     to capacity, so completion stays on the content timeline instead of
     being gated on the slowest member.
     """
-    from repro.core.heterogeneous import HeteroDCoP
-
     values = list(spreads) if spreads is not None else [0.0, 1.0, 3.0, 8.0]
     series = SweepSeries(
         "capacity_spread",
@@ -321,9 +318,13 @@ def run_hetero_flooding(
             n=n, H=H, fault_margin=1, content_packets=content_packets,
             delta=delta, seed=seed,
         )
-        d = StreamingSession(cfg, DCoP(), peer_capacities=caps).run()
-        h = StreamingSession(
-            cfg, HeteroDCoP(caps), peer_capacities=caps
+        d = SessionSpec(
+            config=cfg, protocol=ProtocolSpec("dcop"), peer_capacities=caps
+        ).run()
+        h = SessionSpec(
+            config=cfg,
+            protocol=ProtocolSpec("hetero_dcop", {"capacities": caps}),
+            peer_capacities=caps,
         ).run()
         series.add(
             spread,
@@ -362,17 +363,17 @@ def run_receipt_capacity(
     )
     for rho in rhos:
         row = {}
-        for label, cls in (("broadcast", BroadcastCoordination), ("dcop", DCoP)):
+        for label, kind in (("broadcast", "broadcast"), ("dcop", "dcop")):
             cfg = ProtocolConfig(
                 n=n, H=H, fault_margin=1, content_packets=content_packets,
                 delta=delta, seed=seed, tau=1.0,
             )
-            session = StreamingSession(
-                cfg,
-                cls(),
+            session = SessionSpec(
+                config=cfg,
+                protocol=ProtocolSpec(kind),
                 leaf_receipt_rate=rho * cfg.tau,
                 leaf_receive_buffer=32.0,
-            )
+            ).build()
             result = session.run()
             offered = (
                 session.leaf.decoder.received_count + result.receive_overruns
@@ -417,7 +418,9 @@ def run_rate_adaptation(
             n=n, H=H, fault_margin=0, content_packets=content_packets,
             delta=delta, seed=seed,
         )
-        probe = StreamingSession(cfg, ScheduleBasedCoordination())
+        probe = SessionSpec(
+            config=cfg, protocol=ProtocolSpec("schedule_based")
+        ).build()
         victim = probe.leaf_select(H)[1]
         row = {}
         for label, policy in (
@@ -427,12 +430,12 @@ def run_rate_adaptation(
             plan = FaultPlan()
             if factor < 1.0:
                 plan.degrade(victim, at=content_packets / 8, factor=factor)
-            session = StreamingSession(
-                cfg,
-                ScheduleBasedCoordination(),
+            session = SessionSpec(
+                config=cfg,
+                protocol=ProtocolSpec("schedule_based"),
                 fault_plan=plan,
                 adaptation_policy=policy,
-            )
+            ).build()
             result = session.run()
             row[f"{label}_completed_at"] = (
                 round(result.completed_at, 1) if result.completed_at else None
@@ -463,8 +466,6 @@ def run_multi_leaf(
     """
     from collections import Counter
 
-    from repro.core.single_source import SingleSourceStreaming
-
     ks = list(leaf_counts) if leaf_counts is not None else [1, 2, 5, 10]
     series = SweepSeries(
         "leaves",
@@ -475,9 +476,13 @@ def run_multi_leaf(
     for k in ks:
         loads: dict[str, Counter] = {"single": Counter(), "dcop": Counter()}
         for leaf_idx in range(k):
-            for label, factory, margin in (
-                ("single", lambda: SingleSourceStreaming(server_id="CP1"), 0),
-                ("dcop", DCoP, 1),
+            for label, protocol, margin in (
+                (
+                    "single",
+                    ProtocolSpec("single_source", {"server_id": "CP1"}),
+                    0,
+                ),
+                ("dcop", ProtocolSpec("dcop"), 1),
             ):
                 cfg = ProtocolConfig(
                     n=n,
@@ -487,7 +492,7 @@ def run_multi_leaf(
                     delta=delta,
                     seed=seed + 101 * leaf_idx,
                 )
-                session = StreamingSession(cfg, factory())
+                session = SessionSpec(config=cfg, protocol=protocol).build()
                 session.run()
                 for pid, agent in session.peers.items():
                     loads[label][pid] += sum(
@@ -519,8 +524,6 @@ def run_ams_overhead(
     peer (AMS via ring takeover, DCoP via parity) — the column pair shows
     what that tolerance costs each of them in control traffic.
     """
-    from repro.core.ams import AMSCoordination
-
     ns = list(n_values) if n_values is not None else [6, 12, 24, 48]
     series = SweepSeries(
         "n",
@@ -537,17 +540,23 @@ def run_ams_overhead(
             n=n, H=H, fault_margin=1, content_packets=content_packets,
             delta=delta, seed=seed,
         )
-        ams_clean = run_session(AMSCoordination, ams_cfg)
-        dcop_clean = run_session(DCoP, dcop_cfg)
+        ams_clean = SessionSpec(
+            config=ams_cfg, protocol=ProtocolSpec("ams")
+        ).run()
+        dcop_clean = SessionSpec(
+            config=dcop_cfg, protocol=ProtocolSpec("dcop")
+        ).run()
 
         victim = f"CP{1 + n // 2}"
         crash_at = content_packets / 3
-        ams_crash = StreamingSession(
-            ams_cfg, AMSCoordination(),
+        ams_crash = SessionSpec(
+            config=ams_cfg,
+            protocol=ProtocolSpec("ams"),
             fault_plan=FaultPlan().crash(victim, crash_at),
         ).run()
-        dcop_crash = StreamingSession(
-            dcop_cfg, DCoP(),
+        dcop_crash = SessionSpec(
+            config=dcop_cfg,
+            protocol=ProtocolSpec("dcop"),
             fault_plan=FaultPlan().crash(victim, crash_at),
         ).run()
         series.add(
@@ -566,8 +575,13 @@ def run_scaling(
     content_packets: int = 200,
     delta: float = 10.0,
     seed: int = 0,
+    executor=None,
 ) -> SweepSeries:
-    """EX-E: how sync time and traffic scale with the peer population."""
+    """EX-E: how sync time and traffic scale with the peer population.
+
+    Each (n, protocol) cell is independent, so the grid is built as one
+    flat spec list and handed to ``executor`` (serial by default).
+    """
     ns = list(n_values) if n_values is not None else [10, 20, 50, 100, 200]
     series = SweepSeries(
         "n",
@@ -575,22 +589,26 @@ def run_scaling(
          "dcop_ctrl", "tcop_ctrl"],
         title=f"EX-E — scaling with n (H = {h_fraction:.0%} of n)",
     )
-    for n in ns:
-        H = max(2, int(n * h_fraction))
-        row = {}
-        for label, cls in (
-            ("dcop", DCoP),
-            ("tcop", TCoP),
-            ("centralized", CentralizedCoordination),
-        ):
-            cfg = ProtocolConfig(
+    kinds = ["dcop", "tcop", "centralized"]
+    specs = [
+        SessionSpec(
+            config=ProtocolConfig(
                 n=n,
-                H=H,
+                H=max(2, int(n * h_fraction)),
                 content_packets=content_packets,
                 delta=delta,
                 seed=seed,
-            )
-            result = run_session(cls, cfg)
+            ),
+            protocol=ProtocolSpec(kind),
+        )
+        for n in ns
+        for kind in kinds
+    ]
+    results = iter(run_specs(specs, executor=executor))
+    for n in ns:
+        row = {}
+        for label in kinds:
+            result = next(results)
             row[f"{label}_rounds"] = result.rounds
             if label != "centralized":
                 row[f"{label}_ctrl"] = result.control_packets_total
@@ -606,6 +624,7 @@ def run_churn(
     delta: float = 8.0,
     control_loss: float = 0.05,
     seed: int = 0,
+    executor=None,
 ) -> SweepSeries:
     """EX-L: streaming under churn — DCoP vs TCoP with the full
     churn-tolerance stack.
@@ -616,9 +635,9 @@ def run_churn(
     Bernoulli loss on the coordination plane.  Reports per protocol the
     delivery ratio, the mean crash→confirmation detection latency, the
     mean crash→re-flood handoff latency (both in δ units), and the
-    control retransmission count.
+    control retransmission count.  Every (rate, protocol) cell is an
+    independent spec, so ``executor`` fans the matrix out across cores.
     """
-    from repro.net.loss import BernoulliLoss
     from repro.net.overlay import RetransmitPolicy
     from repro.streaming.detector import DetectorPolicy
     from repro.streaming.faults import ChurnPlan
@@ -642,34 +661,39 @@ def run_churn(
         ),
     )
     min_live = max(2, n // 3)
-    for rate in rates:
-        row = {}
-        for label, cls in (("dcop", DCoP), ("tcop", TCoP)):
-            cfg = ProtocolConfig(
+    labels = ["dcop", "tcop"]
+    specs = [
+        SessionSpec(
+            config=ProtocolConfig(
                 n=n,
                 H=H,
                 fault_margin=1,
                 content_packets=content_packets,
                 delta=delta,
                 seed=seed,
-            )
-            session = StreamingSession(
-                cfg,
-                cls(),
-                control_loss_factory=(
-                    (lambda: BernoulliLoss(control_loss))
-                    if control_loss
-                    else None
-                ),
-                retransmit_policy=RetransmitPolicy(),
-                detector_policy=DetectorPolicy(),
-                churn_plan=(
-                    ChurnPlan(rate_per_delta=rate, min_live=min_live)
-                    if rate > 0
-                    else None
-                ),
-            )
-            result = session.run()
+            ),
+            protocol=ProtocolSpec(label),
+            control_loss=(
+                LossSpec("bernoulli", {"p": control_loss})
+                if control_loss
+                else None
+            ),
+            retransmit_policy=RetransmitPolicy(),
+            detector_policy=DetectorPolicy(),
+            churn_plan=(
+                ChurnPlan(rate_per_delta=rate, min_live=min_live)
+                if rate > 0
+                else None
+            ),
+        )
+        for rate in rates
+        for label in labels
+    ]
+    results = iter(run_specs(specs, executor=executor))
+    for rate in rates:
+        row = {}
+        for label in labels:
+            result = next(results)
             det = result.mean_detection_latency
             hand = result.mean_handoff_latency
             row[f"{label}_delivery"] = round(result.delivery_ratio, 4)

@@ -27,23 +27,34 @@ from repro.experiments.fig12 import run_fig12
 _QUICK_HS = [2, 5, 10, 30, 60, 100]
 
 
+def _make_executor(args):
+    """``--jobs N`` → a ParallelExecutor; default (or 1) stays serial."""
+    if getattr(args, "jobs", None) and args.jobs > 1:
+        from repro.experiments.parallel import ParallelExecutor
+
+        return ParallelExecutor(jobs=args.jobs)
+    return None
+
+
 def _figures(args) -> list[tuple[str, object]]:
     kw = {}
     if args.quick:
         kw = {"h_values": _QUICK_HS, "content_packets": 200}
+    executor = _make_executor(args)
+    ex = {"executor": executor}
     out = []
     if args.experiment in ("fig10", "all"):
-        out.append(("Figure 10", run_fig10(seed=args.seed, **kw)))
+        out.append(("Figure 10", run_fig10(seed=args.seed, **kw, **ex)))
     if args.experiment in ("fig11", "all"):
-        out.append(("Figure 11", run_fig11(seed=args.seed, **kw)))
+        out.append(("Figure 11", run_fig11(seed=args.seed, **kw, **ex)))
     if args.experiment in ("fig12", "all"):
-        out.append(("Figure 12", run_fig12(seed=args.seed, **kw)))
+        out.append(("Figure 12", run_fig12(seed=args.seed, **kw, **ex)))
     if args.experiment in ("ablations", "all"):
         out.append(("EX-A", run_protocol_comparison(seed=args.seed)))
         out.append(("EX-B", run_fault_tolerance(seed=args.seed)))
         out.append(("EX-C", run_loss_recovery(seed=args.seed)))
         out.append(("EX-D", run_parity_sweep(seed=args.seed)))
-        out.append(("EX-E", run_scaling(seed=args.seed)))
+        out.append(("EX-E", run_scaling(seed=args.seed, **ex)))
         out.append(("EX-F", run_heterogeneous(seed=args.seed)))
         out.append(("EX-G", run_ams_overhead(seed=args.seed)))
         out.append(("EX-H", run_multi_leaf(seed=args.seed)))
@@ -51,16 +62,15 @@ def _figures(args) -> list[tuple[str, object]]:
         out.append(("EX-J", run_receipt_capacity(seed=args.seed)))
         out.append(("EX-K", run_hetero_flooding()))
         churn_kw = {"content_packets": 200} if args.quick else {}
-        out.append(("EX-L", run_churn(seed=args.seed, **churn_kw)))
+        out.append(("EX-L", run_churn(seed=args.seed, **churn_kw, **ex)))
+    if executor is not None:
+        executor.close()
     return out
 
 
 def _run_trace(args) -> int:
     """``trace`` subcommand: one traced session + timeline + exporters."""
-    from repro.core.centralized import CentralizedCoordination
-    from repro.core.dcop import DCoP
     from repro.core.base import ProtocolConfig
-    from repro.core.tcop import TCoP
     from repro.obs import (
         TraceConfig,
         wave_timeline,
@@ -68,13 +78,8 @@ def _run_trace(args) -> int:
         write_jsonl,
         write_run_summary,
     )
-    from repro.streaming.session import StreamingSession
+    from repro.streaming.spec import ProtocolSpec, SessionSpec
 
-    protocols = {
-        "dcop": DCoP,
-        "tcop": TCoP,
-        "centralized": CentralizedCoordination,
-    }
     config = ProtocolConfig(
         n=args.n,
         H=args.H,
@@ -82,9 +87,12 @@ def _run_trace(args) -> int:
         seed=args.seed,
         content_packets=100 if args.quick else args.packets,
     )
-    session = StreamingSession(
-        config, protocols[args.protocol](), trace=TraceConfig()
+    spec = SessionSpec(
+        config=config,
+        protocol=ProtocolSpec(args.protocol),
+        trace=TraceConfig(),
     )
+    session = spec.build()
     result = session.run()
     bus = result.trace
     assert bus is not None
@@ -134,6 +142,16 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="coarser H grid, shorter content"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan sweep runs out over N worker processes "
+            "(results are identical to serial; default 1)"
+        ),
+    )
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of tables"
     )

@@ -35,8 +35,14 @@ def run_fig10(
     tau: float = 1.0,
     seed: int = 0,
     repetitions: int = 1,
+    executor=None,
 ) -> SweepSeries:
-    """Regenerate Figure 10's two curves for DCoP."""
+    """Regenerate Figure 10's two curves for DCoP.
+
+    ``executor`` (e.g. a :class:`~repro.experiments.parallel.\
+ParallelExecutor`) fans the grid's runs out across cores with
+    identical results; default is serial.
+    """
     hs = list(h_values) if h_values is not None else default_h_values(n)
     configs = [
         ProtocolConfig(
@@ -50,7 +56,7 @@ def run_fig10(
         )
         for h in hs
     ]
-    results = sweep(DCoP, configs, repetitions=repetitions)
+    results = sweep(DCoP, configs, repetitions=repetitions, executor=executor)
     series = SweepSeries(
         "H",
         ["rounds", "control_packets", "control_packets_total"],

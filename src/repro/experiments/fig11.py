@@ -30,8 +30,10 @@ def run_fig11(
     tau: float = 1.0,
     seed: int = 0,
     repetitions: int = 1,
+    executor=None,
 ) -> SweepSeries:
-    """Regenerate Figure 11's two curves for TCoP."""
+    """Regenerate Figure 11's two curves for TCoP (``executor`` fans the
+    grid out across cores; default serial)."""
     hs = list(h_values) if h_values is not None else default_h_values(n)
     configs = [
         ProtocolConfig(
@@ -45,7 +47,7 @@ def run_fig11(
         )
         for h in hs
     ]
-    results = sweep(TCoP, configs, repetitions=repetitions)
+    results = sweep(TCoP, configs, repetitions=repetitions, executor=executor)
     series = SweepSeries(
         "H",
         ["rounds", "control_packets", "control_packets_total"],

@@ -37,8 +37,10 @@ def run_fig12(
     tau: float = 1.0,
     seed: int = 0,
     repetitions: int = 1,
+    executor=None,
 ) -> SweepSeries:
-    """Regenerate Figure 12's receipt-rate curves."""
+    """Regenerate Figure 12's receipt-rate curves (``executor`` fans the
+    grid out across cores; default serial)."""
     hs = list(h_values) if h_values is not None else default_h_values(n)
     configs = [
         ProtocolConfig(
@@ -52,8 +54,12 @@ def run_fig12(
         )
         for h in hs
     ]
-    dcop_results = sweep(DCoP, configs, repetitions=repetitions)
-    tcop_results = sweep(TCoP, configs, repetitions=repetitions)
+    dcop_results = sweep(
+        DCoP, configs, repetitions=repetitions, executor=executor
+    )
+    tcop_results = sweep(
+        TCoP, configs, repetitions=repetitions, executor=executor
+    )
     series = SweepSeries(
         "H",
         ["dcop_rate", "tcop_rate", "dcop_delivery", "tcop_delivery"],

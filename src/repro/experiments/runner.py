@@ -1,14 +1,36 @@
-"""Generic session/sweep execution for the experiment modules."""
+"""Generic session/sweep execution for the experiment modules.
+
+Everything funnels through :class:`~repro.streaming.spec.SessionSpec`:
+``run_session`` builds one spec and runs it in-process; ``sweep`` derives
+one spec per (config, replication) cell — seeds via
+:func:`dataclasses.replace`, never ``__dict__`` surgery, so config
+subclasses with derived or non-init fields survive — and hands the flat
+spec list to an executor (:class:`~repro.experiments.parallel.\
+SerialExecutor` by default, or a :class:`~repro.experiments.parallel.\
+ParallelExecutor` to fan replications out across cores).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
 
 from repro.core.base import CoordinationProtocol, ProtocolConfig
+from repro.experiments.parallel import (
+    ProgressCallback,
+    run_specs,
+)
 from repro.metrics.stats import mean
-from repro.streaming.session import SessionResult, StreamingSession
+from repro.streaming.session import SessionResult
+from repro.streaming.spec import SessionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import ParallelExecutor, SerialExecutor
 
 ProtocolFactory = Callable[[], CoordinationProtocol]
+
+#: seed stride between successive replications of one config
+REPLICATION_SEED_STRIDE = 7919
 
 
 def run_session(
@@ -16,33 +38,76 @@ def run_session(
     config: ProtocolConfig,
     **session_kw,
 ) -> SessionResult:
-    """Build and run one session to quiescence."""
-    session = StreamingSession(config, protocol_factory(), **session_kw)
-    return session.run()
+    """Build and run one session to quiescence (in-process).
+
+    ``session_kw`` takes the spec fields (``loss=LossSpec(...)``, plans,
+    policies, …); the legacy ``loss_factory``/``control_loss_factory``
+    names are accepted too.  Unlike sweep executors, the result keeps its
+    live trace/timeseries handles — call
+    :meth:`~repro.streaming.session.SessionResult.detach` to export them.
+    """
+    spec = SessionSpec.from_session_kwargs(config, protocol_factory, **session_kw)
+    return spec.run()
+
+
+def replication_specs(
+    protocol_factory: ProtocolFactory,
+    configs: Iterable[ProtocolConfig],
+    repetitions: int = 1,
+    **session_kw,
+) -> List[SessionSpec]:
+    """One spec per (config, replication), flat, in sweep order.
+
+    Replication ``rep`` of a config runs with seed
+    ``config.seed + REPLICATION_SEED_STRIDE * rep``, derived through
+    :func:`dataclasses.replace` so the config's concrete type (and any
+    non-init/derived fields a subclass adds) is preserved.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    specs: List[SessionSpec] = []
+    for config in configs:
+        for rep in range(repetitions):
+            cfg = replace(
+                config, seed=config.seed + REPLICATION_SEED_STRIDE * rep
+            )
+            specs.append(
+                SessionSpec.from_session_kwargs(
+                    cfg, protocol_factory, **session_kw
+                )
+            )
+    return specs
 
 
 def sweep(
     protocol_factory: ProtocolFactory,
     configs: Iterable[ProtocolConfig],
     repetitions: int = 1,
+    executor: Optional["SerialExecutor | ParallelExecutor"] = None,
+    progress: Optional[ProgressCallback] = None,
     **session_kw,
 ) -> List[List[SessionResult]]:
     """Run every config ``repetitions`` times with derived seeds.
 
-    Returns one list of results per config, in order.
+    Returns one list of results per config, in order, independent of the
+    executor: pass ``executor=ParallelExecutor(jobs=N)`` to fan the runs
+    out across processes with identical results (every result is
+    detached — see :meth:`SessionResult.detach` — under serial and
+    parallel executors alike).  For parallel execution the session knobs
+    must be picklable: declarative specs
+    (:class:`~repro.streaming.spec.ProtocolSpec` /
+    :class:`~repro.streaming.spec.LossSpec` / plain policy dataclasses)
+    always are; lambdas and closures are not.
     """
-    if repetitions < 1:
-        raise ValueError("repetitions must be >= 1")
-    out: List[List[SessionResult]] = []
-    for config in configs:
-        results = []
-        for rep in range(repetitions):
-            cfg = ProtocolConfig(
-                **{**config.__dict__, "seed": config.seed + 7919 * rep}
-            )
-            results.append(run_session(protocol_factory, cfg, **session_kw))
-        out.append(results)
-    return out
+    configs = list(configs)
+    specs = replication_specs(
+        protocol_factory, configs, repetitions, **session_kw
+    )
+    flat = run_specs(specs, executor=executor, progress=progress)
+    return [
+        flat[i * repetitions : (i + 1) * repetitions]
+        for i in range(len(configs))
+    ]
 
 
 def mean_metric(results: Sequence[SessionResult], field: str) -> float:

@@ -7,9 +7,14 @@
 * :class:`LeafPeerAgent` — the requesting leaf: receives media packets into
   a :class:`~repro.fec.ParityDecoder`, tracks arrival statistics, and can
   play the content back through a :class:`PlaybackBuffer`.
+* :class:`SessionSpec` — a frozen, picklable *description* of one session
+  (config + declarative protocol/latency/loss specs + plans/policies);
+  ``spec.build()`` materializes the live :class:`StreamingSession`.  The
+  canonical construction API.
 * :class:`StreamingSession` — builds the whole simulated system from a
   :class:`~repro.core.ProtocolConfig` and runs it to produce a
-  :class:`SessionResult`.
+  :class:`SessionResult`.  Keyword construction is deprecated; use
+  :meth:`StreamingSession.from_spec`.
 * :mod:`repro.streaming.faults` — crash / rate-degradation / churn
   injection.
 * :mod:`repro.streaming.detector` — leaf-side heartbeat failure detector.
@@ -21,6 +26,16 @@ from repro.streaming.buffer import BufferEvent, PlaybackBuffer
 from repro.streaming.contents_peer import ContentsPeerAgent
 from repro.streaming.leaf_peer import LeafPeerAgent
 from repro.streaming.session import SessionResult, StreamingSession
+from repro.streaming.spec import (
+    LatencySpec,
+    LossSpec,
+    ProtocolSpec,
+    SessionSpec,
+    available_factories,
+    register_latency,
+    register_loss,
+    register_protocol,
+)
 from repro.streaming.faults import (
     ChurnEvent,
     ChurnPlan,
@@ -53,14 +68,22 @@ __all__ = [
     "HandoffPlan",
     "HandoffRecord",
     "Heartbeat",
+    "LatencySpec",
     "LeafPeerAgent",
+    "LossSpec",
     "Phase",
     "PlaybackBuffer",
+    "ProtocolSpec",
     "ReCoordinator",
     "RepairMonitor",
     "RepairPolicy",
     "RepairRequest",
     "SessionResult",
+    "SessionSpec",
     "Stream",
     "StreamingSession",
+    "available_factories",
+    "register_latency",
+    "register_loss",
+    "register_protocol",
 ]

@@ -1,13 +1,22 @@
-"""Streaming session: builds the simulated system and collects results."""
+"""Streaming session: builds the simulated system and collects results.
+
+Sessions are constructed from a declarative
+:class:`~repro.streaming.spec.SessionSpec` (via :meth:`SessionSpec.build`
+or :meth:`StreamingSession.from_spec`); the historical keyword-argument
+constructor survives as a deprecated shim that internally builds the same
+spec, so both paths are guaranteed to stay behaviorally identical.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
     from repro.streaming.repair import RepairMonitor, RepairPolicy
+    from repro.streaming.spec import SessionSpec
 
 from repro.core.base import CoordinationProtocol, ProtocolConfig
 from repro.media.content import MediaContent
@@ -76,11 +85,13 @@ class SessionResult:
     #: mean ms from ground-truth crash to residual re-flood, when any
     mean_handoff_latency: Optional[float] = None
     # --- observability handles (present only when tracing was enabled) ---
-    #: the session's :class:`~repro.obs.trace.TraceBus`, finalized
-    trace: Optional["TraceBus"] = field(
+    #: the session's :class:`~repro.obs.trace.TraceBus`, finalized — or,
+    #: after :meth:`detach`, its exported JSON-able dict form
+    trace: Union["TraceBus", Dict[str, Any], None] = field(
         default=None, repr=False, compare=False
     )
     #: sampled run time series as a :class:`~repro.metrics.series.SweepSeries`
+    #: — or, after :meth:`detach`, its exported JSON-able dict form
     timeseries: Optional[object] = field(
         default=None, repr=False, compare=False
     )
@@ -108,9 +119,55 @@ class SessionResult:
             f"rate={self.receipt_rate:.3f} delivery={self.delivery_ratio:.3f}"
         )
 
+    def detach(self) -> "SessionResult":
+        """A copy safe to pickle and ship across process boundaries.
+
+        The two runtime handles are swapped for their exported JSON-able
+        forms: ``trace`` (a live :class:`~repro.obs.trace.TraceBus`
+        holding the whole simulation object graph) becomes a dict of
+        event records plus trace statistics, and ``timeseries`` becomes
+        the :func:`~repro.metrics.io.series_to_dict` payload.  Every
+        scalar field is untouched.  Idempotent: detaching an already
+        detached (or trace-less) result returns ``self``.
+
+        Sweep executors detach every worker result, so parallel and
+        serial sweeps return identical value-only objects.
+        """
+        from repro.obs.trace import TraceBus
+
+        trace = self.trace
+        timeseries = self.timeseries
+        detached = False
+        if isinstance(trace, TraceBus):
+            from repro.obs.exporters import event_to_dict
+
+            trace = {
+                "type": "trace",
+                "events": [event_to_dict(e) for e in trace.events],
+                "dropped_events": trace.dropped_events,
+                "counts_by_kind": dict(trace.counts_by_kind),
+                "participants": list(trace.participants),
+            }
+            detached = True
+        if timeseries is not None and not isinstance(timeseries, dict):
+            from repro.metrics.io import series_to_dict
+
+            timeseries = series_to_dict(timeseries)
+            detached = True
+        if not detached:
+            return self
+        return dataclass_replace(self, trace=trace, timeseries=timeseries)
+
 
 class StreamingSession:
     """One simulated multi-source streaming run.
+
+    Construct from a :class:`~repro.streaming.spec.SessionSpec` — either
+    ``spec.build()`` or :meth:`from_spec` — which captures every knob as
+    a picklable value.  The keyword constructor below is a deprecated
+    shim kept for one release: it emits a :class:`DeprecationWarning`,
+    internally builds the equivalent spec, and follows the identical
+    setup path, so the two APIs cannot drift apart.
 
     Parameters
     ----------
@@ -146,6 +203,71 @@ class StreamingSession:
         churn_plan: Optional[ChurnPlan] = None,
         trace: Optional[TraceConfig] = None,
     ) -> None:
+        warnings.warn(
+            "constructing StreamingSession(...) from keyword arguments is "
+            "deprecated; build a repro.streaming.SessionSpec and call "
+            "spec.build() (or StreamingSession.from_spec(spec))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.streaming.spec import SessionSpec
+
+        self._setup(
+            SessionSpec.from_session_kwargs(
+                config,
+                protocol,
+                latency=latency,
+                loss_factory=loss_factory,
+                buffer_capacity=buffer_capacity,
+                playback=playback,
+                fault_plan=fault_plan,
+                repair_policy=repair_policy,
+                adaptation_policy=adaptation_policy,
+                leaf_receipt_rate=leaf_receipt_rate,
+                leaf_receive_buffer=leaf_receive_buffer,
+                peer_capacities=peer_capacities,
+                control_loss_factory=control_loss_factory,
+                retransmit_policy=retransmit_policy,
+                detector_policy=detector_policy,
+                churn_plan=churn_plan,
+                trace=trace,
+            )
+        )
+
+    @classmethod
+    def from_spec(cls, spec: "SessionSpec") -> "StreamingSession":
+        """Build a session from a declarative spec (no deprecation)."""
+        session = object.__new__(cls)
+        session._setup(spec)
+        return session
+
+    def _setup(self, spec: "SessionSpec") -> None:
+        """The one true constructor: materialize ``spec`` into a session."""
+        from repro.streaming.spec import (
+            resolve_latency,
+            resolve_loss_factory,
+            resolve_protocol,
+        )
+
+        config = spec.config
+        protocol = resolve_protocol(spec.protocol)
+        latency = resolve_latency(spec.latency)
+        loss_factory = resolve_loss_factory(spec.loss)
+        control_loss_factory = resolve_loss_factory(spec.control_loss)
+        buffer_capacity = spec.buffer_capacity
+        playback = spec.playback
+        fault_plan = spec.fault_plan
+        repair_policy = spec.repair_policy
+        adaptation_policy = spec.adaptation_policy
+        leaf_receipt_rate = spec.leaf_receipt_rate
+        leaf_receive_buffer = spec.leaf_receive_buffer
+        peer_capacities = spec.peer_capacities
+        retransmit_policy = spec.retransmit_policy
+        detector_policy = spec.detector_policy
+        churn_plan = spec.churn_plan
+        trace = spec.trace
+
+        self.spec = spec
         self.config = config
         self.protocol = protocol
         self.env = Environment()

@@ -1,0 +1,398 @@
+"""Declarative session specifications: every experiment as a picklable value.
+
+A :class:`StreamingSession` is configured through many callable-valued
+knobs (latency models, loss *factories*, a protocol strategy instance) that
+cannot cross a process boundary, be logged, or be diffed.  This module
+closes that gap with a frozen :class:`SessionSpec` dataclass capturing the
+whole session surface as plain data:
+
+* the callable-valued knobs become small declarative specs
+  (:class:`LatencySpec`, :class:`LossSpec`, :class:`ProtocolSpec`) that
+  name a **registered factory** plus its keyword parameters — so a spec
+  pickles byte-for-byte and ``spec.build()`` reconstructs the live session
+  in any process;
+* the plan/policy knobs (:class:`~repro.streaming.faults.FaultPlan`,
+  :class:`~repro.streaming.detector.DetectorPolicy`, …) are already plain
+  dataclasses and ride along unchanged;
+* for convenience the model/protocol fields also accept live objects
+  (a :class:`~repro.net.latency.LatencyModel` instance, a zero-arg loss
+  factory, a protocol instance or class) — such a spec still builds, but
+  is only picklable when the object itself is (lambdas and closures are
+  not).  Declarative specs are the documented, always-serializable form.
+
+Custom factories register under a name::
+
+    from repro.streaming.spec import register_loss
+
+    @register_loss("my_flaky")
+    def my_flaky(p):                       # must be importable by workers
+        return BernoulliLoss(min(1.0, 2 * p))
+
+    spec = SessionSpec(config, loss=LossSpec("my_flaky", {"p": 0.01}))
+
+Registration must happen at import time of a module the worker processes
+also import (true for any module under ``repro`` or your own package);
+factories registered only inside ``__main__`` are invisible to spawned
+workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Union,
+)
+
+from repro.core.ams import AMSCoordination
+from repro.core.base import CoordinationProtocol, ProtocolConfig
+from repro.core.broadcast import BroadcastCoordination
+from repro.core.centralized import CentralizedCoordination
+from repro.core.dcop import DCoP
+from repro.core.heterogeneous import (
+    HeteroDCoP,
+    HeterogeneousScheduleCoordination,
+)
+from repro.core.schedule_based import ScheduleBasedCoordination
+from repro.core.single_source import SingleSourceStreaming
+from repro.core.tcop import TCoP
+from repro.core.unicast import UnicastChainCoordination
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    NormalLatency,
+    UniformLatency,
+)
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.overlay import RetransmitPolicy
+from repro.obs.trace import TraceConfig
+from repro.streaming.adaptive import RateAdaptationPolicy
+from repro.streaming.detector import DetectorPolicy
+from repro.streaming.faults import ChurnPlan, FaultPlan
+from repro.streaming.repair import RepairPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.streaming.session import SessionResult, StreamingSession
+
+__all__ = [
+    "LatencySpec",
+    "LossSpec",
+    "ProtocolSpec",
+    "SessionSpec",
+    "available_factories",
+    "register_latency",
+    "register_loss",
+    "register_protocol",
+    "resolve_latency",
+    "resolve_loss_factory",
+    "resolve_protocol",
+]
+
+
+# ----------------------------------------------------------------------
+# factory registries
+# ----------------------------------------------------------------------
+_REGISTRIES: Dict[str, Dict[str, Callable[..., Any]]] = {
+    "latency": {},
+    "loss": {},
+    "protocol": {},
+}
+
+
+def _register(category: str, name: str, factory=None):
+    registry = _REGISTRIES[category]
+
+    def install(fn):
+        if name in registry:
+            raise ValueError(
+                f"{category} factory {name!r} is already registered"
+            )
+        registry[name] = fn
+        return fn
+
+    if factory is None:
+        return install  # decorator form
+    return install(factory)
+
+
+def register_latency(name: str, factory=None):
+    """Register a latency-model factory (usable as a decorator).
+
+    The factory's keyword parameters become the ``params`` of a
+    :class:`LatencySpec` and it must return a
+    :class:`~repro.net.latency.LatencyModel`.
+    """
+    return _register("latency", name, factory)
+
+
+def register_loss(name: str, factory=None):
+    """Register a loss-model factory (usable as a decorator).
+
+    Called once **per channel** at build time, so stateful models (bursty
+    loss keeps burst state) start fresh on every channel — exactly the
+    old ``loss_factory`` contract, minus the unpicklable closure.
+    """
+    return _register("loss", name, factory)
+
+
+def register_protocol(name: str, factory=None):
+    """Register a coordination-protocol factory (usable as a decorator)."""
+    return _register("protocol", name, factory)
+
+
+def _get_factory(category: str, name: str) -> Callable[..., Any]:
+    registry = _REGISTRIES[category]
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry)) or "<none>"
+        raise KeyError(
+            f"no {category} factory registered as {name!r} "
+            f"(available: {known})"
+        ) from None
+
+
+def available_factories(category: str) -> list[str]:
+    """Registered factory names for ``'latency'``/``'loss'``/``'protocol'``."""
+    return sorted(_REGISTRIES[category])
+
+
+# built-in latency models
+register_latency("constant", ConstantLatency)
+register_latency("uniform", UniformLatency)
+register_latency("normal", NormalLatency)
+
+# built-in loss models
+register_loss("none", NoLoss)
+register_loss("bernoulli", BernoulliLoss)
+register_loss("gilbert_elliott", GilbertElliottLoss)
+
+
+@register_loss("bursty")
+def _bursty_loss(rate: float, mean_burst: float = 3.0) -> LossModel:
+    """Gilbert–Elliott chain with stationary loss ``rate`` and a mean
+    burst of ``mean_burst`` packets — the parameterization every loss
+    ablation uses (§3.2's "lost … in a bursty manner")."""
+    if rate <= 0:
+        return NoLoss()
+    p_bg = 1 / mean_burst
+    p_gb = min(1.0, rate * p_bg / max(1e-12, (1 - rate)))
+    return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
+
+
+# built-in coordination protocols
+register_protocol("dcop", DCoP)
+register_protocol("tcop", TCoP)
+register_protocol("broadcast", BroadcastCoordination)
+register_protocol("centralized", CentralizedCoordination)
+register_protocol("schedule_based", ScheduleBasedCoordination)
+register_protocol("single_source", SingleSourceStreaming)
+register_protocol("unicast_chain", UnicastChainCoordination)
+register_protocol("ams", AMSCoordination)
+register_protocol("hetero_schedule", HeterogeneousScheduleCoordination)
+register_protocol("hetero_dcop", HeteroDCoP)
+
+
+# ----------------------------------------------------------------------
+# declarative model/protocol specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencySpec:
+    """A registered latency model by name, e.g. ``LatencySpec("constant",
+    {"delay": 10.0})``.  ``None`` in a :class:`SessionSpec` keeps the
+    session's default per-pair δ·U(1−s, 1+s) draw."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> LatencyModel:
+        return _get_factory("latency", self.kind)(**dict(self.params))
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """A registered loss model by name; :meth:`factory` yields the
+    per-channel factory the overlay consumes."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def factory(self) -> Callable[[], LossModel]:
+        fn = _get_factory("loss", self.kind)
+        params = dict(self.params)
+        return lambda: fn(**params)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A registered coordination protocol by name, e.g.
+    ``ProtocolSpec("single_source", {"server_id": "CP1"})``."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> CoordinationProtocol:
+        return _get_factory("protocol", self.kind)(**dict(self.params))
+
+
+#: what the protocol/model fields of a :class:`SessionSpec` accept
+ProtocolLike = Union[
+    ProtocolSpec, CoordinationProtocol, Callable[[], CoordinationProtocol]
+]
+LatencyLike = Union[LatencySpec, LatencyModel]
+LossLike = Union[LossSpec, Callable[[], LossModel]]
+
+
+def resolve_protocol(value: ProtocolLike) -> CoordinationProtocol:
+    """Materialize the ``protocol`` field of a spec into an instance."""
+    if isinstance(value, ProtocolSpec):
+        return value.build()
+    if isinstance(value, CoordinationProtocol):
+        return value
+    if callable(value):  # a protocol class or zero-arg factory
+        protocol = value()
+        if not isinstance(protocol, CoordinationProtocol):
+            raise TypeError(
+                f"protocol factory returned {type(protocol).__name__}, "
+                "not a CoordinationProtocol"
+            )
+        return protocol
+    raise TypeError(
+        f"cannot build a protocol from {type(value).__name__}; pass a "
+        "ProtocolSpec, a CoordinationProtocol, or a zero-arg factory"
+    )
+
+
+def resolve_latency(value: Optional[LatencyLike]) -> Optional[LatencyModel]:
+    """Materialize the ``latency`` field of a spec."""
+    if value is None or isinstance(value, LatencyModel):
+        return value
+    if isinstance(value, LatencySpec):
+        return value.build()
+    raise TypeError(
+        f"cannot build a latency model from {type(value).__name__}; pass "
+        "a LatencySpec or a LatencyModel instance"
+    )
+
+
+def resolve_loss_factory(
+    value: Optional[LossLike],
+) -> Optional[Callable[[], LossModel]]:
+    """Materialize a loss field of a spec into a per-channel factory."""
+    if value is None:
+        return None
+    if isinstance(value, LossSpec):
+        return value.factory()
+    if isinstance(value, LossModel):
+        raise TypeError(
+            "got a LossModel instance; loss knobs take a per-channel "
+            "*factory* (stateful models must not be shared across "
+            "channels) — pass a LossSpec or a zero-arg callable"
+        )
+    if callable(value):
+        return value
+    raise TypeError(
+        f"cannot build a loss factory from {type(value).__name__}; pass "
+        "a LossSpec or a zero-arg callable"
+    )
+
+
+# ----------------------------------------------------------------------
+# the session spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionSpec:
+    """One streaming run as a value.
+
+    Captures everything :class:`~repro.streaming.session.StreamingSession`
+    expresses — workload config, protocol, channel models, fault/churn
+    plans, detector/retransmit/repair/adaptation policies, leaf-side
+    capacity, trace config — as declarative data.  A spec built purely
+    from declarative parts (:class:`ProtocolSpec`/:class:`LatencySpec`/
+    :class:`LossSpec` and the plain-dataclass plans and policies) pickles,
+    crosses process boundaries, and rebuilds an identical session via
+    :meth:`build`; equal specs with equal seeds produce byte-identical
+    :class:`~repro.streaming.session.SessionResult` scalars in any
+    process.
+    """
+
+    config: ProtocolConfig
+    protocol: ProtocolLike = field(default_factory=lambda: ProtocolSpec("dcop"))
+    #: channel latency; None = the default per-pair δ·U(1−s, 1+s) draw
+    latency: Optional[LatencyLike] = None
+    #: media/control channel loss (per-channel factory)
+    loss: Optional[LossLike] = None
+    #: extra loss applied to control traffic only
+    control_loss: Optional[LossLike] = None
+    buffer_capacity: float = float("inf")
+    playback: bool = False
+    fault_plan: Optional[FaultPlan] = None
+    repair_policy: Optional[RepairPolicy] = None
+    adaptation_policy: Optional[RateAdaptationPolicy] = None
+    leaf_receipt_rate: Optional[float] = None
+    leaf_receive_buffer: float = 64.0
+    peer_capacities: Optional[Dict[str, float]] = None
+    retransmit_policy: Optional[RetransmitPolicy] = None
+    detector_policy: Optional[DetectorPolicy] = None
+    churn_plan: Optional[ChurnPlan] = None
+    trace: Optional[TraceConfig] = None
+
+    #: legacy ``StreamingSession`` kwarg → spec field renames
+    _KWARG_ALIASES = {
+        "loss_factory": "loss",
+        "control_loss_factory": "control_loss",
+    }
+
+    @classmethod
+    def from_session_kwargs(
+        cls, config: ProtocolConfig, protocol: ProtocolLike, **session_kw
+    ) -> "SessionSpec":
+        """Build a spec from the legacy ``StreamingSession(...)`` kwargs.
+
+        ``loss_factory``/``control_loss_factory`` map onto the ``loss``/
+        ``control_loss`` fields; every other kwarg keeps its name.  Raw
+        model objects and callables are stored as-is, so the resulting
+        spec is only picklable when they are.
+        """
+        fields_kw = {
+            cls._KWARG_ALIASES.get(k, k): v for k, v in session_kw.items()
+        }
+        return cls(config=config, protocol=protocol, **fields_kw)
+
+    # ------------------------------------------------------------------
+    def build(self) -> "StreamingSession":
+        """Reconstruct the live session this spec describes."""
+        from repro.streaming.session import StreamingSession
+
+        return StreamingSession.from_spec(self)
+
+    def run(self, until: Optional[float] = None) -> "SessionResult":
+        """Build the session and run it to quiescence."""
+        return self.build().run(until=until)
+
+    def replace(self, **changes) -> "SessionSpec":
+        """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "SessionSpec":
+        """A copy whose config carries ``seed`` (replication derivation)."""
+        return replace(self, config=replace(self.config, seed=seed))
+
+    def describe(self) -> str:
+        """One-line human identification (used in error reports)."""
+        cfg = self.config
+        if isinstance(self.protocol, ProtocolSpec):
+            proto = self.protocol.kind
+        elif isinstance(self.protocol, CoordinationProtocol):
+            proto = self.protocol.name
+        else:
+            proto = getattr(self.protocol, "__name__", repr(self.protocol))
+        return (
+            f"SessionSpec(protocol={proto}, n={cfg.n}, H={cfg.H}, "
+            f"seed={cfg.seed})"
+        )

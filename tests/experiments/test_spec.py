@@ -1,0 +1,231 @@
+"""SessionSpec: registries, pickling, the deprecation shim, detach()."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.core import DCoP, ProtocolConfig
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.net.overlay import RetransmitPolicy
+from repro.obs import TraceConfig
+from repro.streaming import (
+    FaultPlan,
+    SessionSpec,
+    StreamingSession,
+    available_factories,
+)
+from repro.streaming.detector import DetectorPolicy
+from repro.streaming.faults import ChurnPlan
+from repro.streaming.repair import RepairPolicy
+from repro.streaming.spec import (
+    _REGISTRIES,
+    LatencySpec,
+    LossSpec,
+    ProtocolSpec,
+    register_loss,
+    resolve_loss_factory,
+)
+
+
+def _small_config(**kw):
+    defaults = dict(n=8, H=3, content_packets=60, delta=5.0, seed=3)
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def _scalars(result):
+    """The value fields of a SessionResult (skips the live handles)."""
+    from repro.metrics.io import session_result_to_dict
+
+    return session_result_to_dict(result)
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+def test_builtin_factories_are_registered():
+    assert {"dcop", "tcop", "broadcast", "centralized", "schedule_based",
+            "single_source", "unicast_chain", "ams", "hetero_schedule",
+            "hetero_dcop"} <= set(available_factories("protocol"))
+    assert {"none", "bernoulli", "gilbert_elliott", "bursty"} <= set(
+        available_factories("loss")
+    )
+    assert {"constant", "uniform", "normal"} <= set(
+        available_factories("latency")
+    )
+
+
+def test_register_rejects_duplicates_and_unknown_kind_lists_available():
+    with pytest.raises(ValueError, match="already registered"):
+        register_loss("bernoulli", BernoulliLoss)
+    with pytest.raises(KeyError, match="available: .*bernoulli"):
+        LossSpec("definitely_not_registered").factory()
+
+
+def test_register_decorator_form():
+    try:
+
+        @register_loss("test_double_rate")
+        def _double(p):
+            return BernoulliLoss(min(1.0, 2 * p))
+
+        model = LossSpec("test_double_rate", {"p": 0.25}).factory()()
+        assert isinstance(model, BernoulliLoss)
+        assert model.p == 0.5
+    finally:
+        _REGISTRIES["loss"].pop("test_double_rate", None)
+
+
+def test_bursty_loss_matches_gilbert_elliott_parameterization():
+    model = LossSpec("bursty", {"rate": 0.05}).factory()()
+    assert isinstance(model, GilbertElliottLoss)
+    assert model.p_bg == 1 / 3.0
+    assert model.p_gb == pytest.approx(0.05 * (1 / 3.0) / 0.95)
+    assert isinstance(LossSpec("bursty", {"rate": 0.0}).factory()(), NoLoss)
+
+
+def test_loss_spec_factory_builds_fresh_models_per_channel():
+    factory = LossSpec("bursty", {"rate": 0.2}).factory()
+    assert factory() is not factory()
+
+
+def test_resolve_loss_factory_rejects_model_instances():
+    with pytest.raises(TypeError, match="per-channel"):
+        resolve_loss_factory(BernoulliLoss(0.1))
+
+
+# ----------------------------------------------------------------------
+# the spec value
+# ----------------------------------------------------------------------
+def _fully_populated_spec():
+    """Every knob set to a declarative (hence picklable) value."""
+    return SessionSpec(
+        config=_small_config(),
+        protocol=ProtocolSpec("tcop"),
+        latency=LatencySpec("uniform", {"low": 4.0, "high": 6.0}),
+        loss=LossSpec("bursty", {"rate": 0.02}),
+        control_loss=LossSpec("bernoulli", {"p": 0.01}),
+        buffer_capacity=500.0,
+        playback=True,
+        fault_plan=FaultPlan().crash("CP2", 40.0),
+        repair_policy=RepairPolicy(),
+        adaptation_policy=None,
+        leaf_receipt_rate=8.0,
+        leaf_receive_buffer=32.0,
+        peer_capacities={f"CP{i}": 0.5 for i in range(1, 9)},
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+        churn_plan=ChurnPlan(rate_per_delta=0.01, min_live=4),
+        trace=TraceConfig(max_events=500),
+    )
+
+
+def test_fully_populated_spec_pickle_round_trips():
+    spec = _fully_populated_spec()
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    # and the clone actually builds and runs
+    result = clone.run()
+    assert result.protocol == "TCoP"
+
+
+def test_equal_specs_produce_identical_results():
+    spec = SessionSpec(config=_small_config(), protocol=ProtocolSpec("dcop"))
+    clone = pickle.loads(pickle.dumps(spec))
+    assert _scalars(spec.run()) == _scalars(clone.run())
+
+
+def test_replace_and_with_seed_derive_new_frozen_specs():
+    spec = SessionSpec(config=_small_config(seed=1))
+    reseeded = spec.with_seed(42)
+    assert reseeded.config.seed == 42
+    assert spec.config.seed == 1
+    swapped = spec.replace(protocol=ProtocolSpec("centralized"))
+    assert swapped.protocol == ProtocolSpec("centralized")
+    with pytest.raises(Exception):  # frozen dataclass
+        spec.playback = True
+
+
+def test_from_session_kwargs_maps_legacy_aliases():
+    factory = LossSpec("bernoulli", {"p": 0.1})
+    spec = SessionSpec.from_session_kwargs(
+        _small_config(),
+        DCoP,
+        loss_factory=factory,
+        control_loss_factory=factory,
+        playback=True,
+    )
+    assert spec.loss is factory
+    assert spec.control_loss is factory
+    assert spec.playback is True
+
+
+def test_describe_names_the_protocol():
+    assert "tcop" in SessionSpec(
+        config=_small_config(), protocol=ProtocolSpec("tcop")
+    ).describe()
+    assert "DCoP" in SessionSpec(
+        config=_small_config(), protocol=DCoP
+    ).describe()
+
+
+# ----------------------------------------------------------------------
+# the deprecation shim
+# ----------------------------------------------------------------------
+def test_keyword_construction_warns_and_matches_spec_path():
+    config = _small_config()
+    with pytest.warns(DeprecationWarning, match="SessionSpec"):
+        legacy = StreamingSession(config, DCoP())
+    via_spec = SessionSpec(config=config, protocol=ProtocolSpec("dcop"))
+    assert _scalars(legacy.run()) == _scalars(via_spec.run())
+
+
+def test_keyword_construction_records_an_equivalent_spec():
+    config = _small_config()
+    with pytest.warns(DeprecationWarning):
+        session = StreamingSession(config, DCoP(), playback=True)
+    assert isinstance(session.spec, SessionSpec)
+    assert session.spec.config is config
+    assert session.spec.playback is True
+
+
+def test_from_spec_does_not_warn():
+    spec = SessionSpec(config=_small_config())
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session = StreamingSession.from_spec(spec)
+    assert session.spec is spec
+
+
+# ----------------------------------------------------------------------
+# SessionResult.detach()
+# ----------------------------------------------------------------------
+def test_detach_exports_trace_and_timeseries_and_pickles():
+    spec = SessionSpec(config=_small_config(), trace=TraceConfig())
+    result = spec.run()
+    from repro.obs.trace import TraceBus
+
+    assert isinstance(result.trace, TraceBus)
+    detached = result.detach()
+    assert isinstance(detached.trace, dict)
+    assert detached.trace["type"] == "trace"
+    assert len(detached.trace["events"]) == len(result.trace.events)
+    assert isinstance(detached.timeseries, dict)
+    assert detached.timeseries["type"] == "series"
+    # the live result does not pickle; the detached one does
+    with pytest.raises(Exception):
+        pickle.dumps(result)
+    clone = pickle.loads(pickle.dumps(detached))
+    assert clone.trace == detached.trace
+    # scalar fields are untouched
+    assert _scalars(detached) == _scalars(result)
+
+
+def test_detach_is_idempotent_and_a_noop_without_handles():
+    spec = SessionSpec(config=_small_config())
+    result = spec.run()
+    assert result.detach() is result  # nothing to export
+    traced = SessionSpec(config=_small_config(), trace=TraceConfig()).run()
+    detached = traced.detach()
+    assert detached.detach() is detached

@@ -58,6 +58,11 @@ def test_adaptive_streaming(capsys):
     assert "helper recruited" in out
 
 
+def test_parallel_sweep(capsys):
+    out = run_example("parallel_sweep.py", capsys)
+    assert "identical tables: True" in out
+
+
 def test_churn_streaming(capsys):
     out = run_example("churn_streaming.py", capsys)
     assert "churn-tolerant DCoP" in out

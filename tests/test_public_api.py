@@ -42,13 +42,33 @@ def test_subpackage_all_resolves(module):
 
 def test_readme_quickstart_runs():
     """The README's quickstart snippet, verbatim."""
+    from repro import ProtocolConfig, ProtocolSpec, SessionSpec
+
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=100,
+            H=60,
+            fault_margin=1,
+            tau=1.0,
+            delta=10.0,
+            content_packets=600,
+        ),
+        protocol=ProtocolSpec("dcop"),
+    )
+    result = spec.run()
+    assert result.rounds == 2
+    assert result.delivery_ratio == 1.0
+
+
+def test_legacy_keyword_construction_still_works_but_warns():
+    """The pre-spec API stays functional behind a DeprecationWarning."""
     from repro import DCoP, ProtocolConfig, StreamingSession
 
     config = ProtocolConfig(
-        n=100, H=60, fault_margin=1, tau=1.0, delta=10.0, content_packets=600
+        n=20, H=8, fault_margin=1, content_packets=100
     )
-    result = StreamingSession(config, DCoP()).run()
-    assert result.rounds == 2
+    with pytest.warns(DeprecationWarning):
+        result = StreamingSession(config, DCoP()).run()
     assert result.delivery_ratio == 1.0
 
 
