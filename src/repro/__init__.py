@@ -23,7 +23,8 @@ Package map:
 * :mod:`repro.streaming` — contents/leaf peer agents, sessions, faults
 * :mod:`repro.analysis` — closed-form models cross-checking the simulator
 * :mod:`repro.metrics` — tables, sweep series, stats
-* :mod:`repro.obs` — trace bus, time-series metrics, trace exporters
+* :mod:`repro.obs` — trace bus, time-series metrics, trace exporters,
+  online protocol auditors
 * :mod:`repro.experiments` — one module per paper figure + ablations
 """
 
@@ -39,7 +40,7 @@ from repro.core import (
 )
 from repro.media import MediaContent
 from repro.net.overlay import RetransmitPolicy
-from repro.obs import TraceConfig
+from repro.obs import AuditConfig, AuditReport, TraceConfig
 from repro.streaming import (
     ChurnPlan,
     DetectorPolicy,
@@ -55,6 +56,8 @@ from repro.streaming import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditConfig",
+    "AuditReport",
     "BroadcastCoordination",
     "CentralizedCoordination",
     "ChurnPlan",

@@ -154,6 +154,10 @@ class TCoP(CoordinationProtocol):
         accept = agent.parent is None and not agent.active
         if accept:
             agent.parent = offer.sender
+            if agent.env.tracer is not None:
+                agent.env.tracer.emit(
+                    "peer.attach", agent.peer_id, parent=offer.sender
+                )
             # if the parent's start never arrives (lost on a faulty
             # channel, or the parent crashed between collect and start),
             # release the claim so another parent can adopt this peer —
@@ -171,6 +175,13 @@ class TCoP(CoordinationProtocol):
         yield agent.env.timeout((cfg.offer_timeout_deltas + 2) * cfg.delta)
         if not agent.active and agent.parent == parent_id:
             agent.parent = None
+            if agent.env.tracer is not None:
+                agent.env.tracer.emit(
+                    "peer.detach",
+                    agent.peer_id,
+                    parent=parent_id,
+                    reason="watchdog",
+                )
 
     def _on_start(self, agent: "ContentsPeerAgent", ctl: ControlMessage) -> None:
         agent.merge_view(ctl.view)
@@ -188,6 +199,13 @@ class TCoP(CoordinationProtocol):
         for agent in session.peers.values():
             if agent.parent == failed and not agent.active:
                 agent.parent = None
+                if session.env.tracer is not None:
+                    session.env.tracer.emit(
+                        "peer.detach",
+                        agent.peer_id,
+                        parent=failed,
+                        reason="reissue",
+                    )
         leaf_id = session.leaf.peer_id
         view = frozenset(assignments)
         for pid, assignment in assignments.items():

@@ -10,8 +10,19 @@ Sweeps describe their runs as picklable
 executor: :class:`SerialExecutor` (default) or :class:`ParallelExecutor`
 (``executor=ParallelExecutor(jobs=N)`` fans runs out across cores with
 identical results).
+
+:mod:`repro.experiments.regress` diffs fresh bench/audit artifacts
+against a committed baseline with tolerances, gating perf and
+correctness regressions in one report.
 """
 
+from repro.experiments.regress import (
+    RegressReport,
+    Regression,
+    compare_audit_reports,
+    compare_bench,
+    compare_dirs,
+)
 from repro.experiments.parallel import (
     ParallelExecutor,
     ProgressTick,
@@ -44,8 +55,13 @@ __all__ = [
     "PAPER_FIG12_REFERENCE",
     "ParallelExecutor",
     "ProgressTick",
+    "RegressReport",
+    "Regression",
     "SerialExecutor",
     "SweepError",
+    "compare_audit_reports",
+    "compare_bench",
+    "compare_dirs",
     "replication_specs",
     "run_specs",
     "run_ams_overhead",

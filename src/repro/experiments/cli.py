@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.ablations import (
     run_ams_overhead,
@@ -25,6 +27,44 @@ from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
 
 _QUICK_HS = [2, 5, 10, 30, 60, 100]
+
+
+def _fail(message: str) -> int:
+    """One-line error on stderr, no traceback; argparse-style exit code."""
+    print(f"repro-experiments: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _ensure_parent(path: str) -> Path:
+    """Create the parent directory of an ``--out``-style path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _parse_model_spec(text: str):
+    """``name`` or ``name:key=val,key=val`` → (name, params).
+
+    Values parse as int, then float, then stay strings.
+    """
+    name, _, raw = text.partition(":")
+    params = {}
+    if raw:
+        for pair in raw.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"bad model parameter {pair!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            for cast in (int, float):
+                try:
+                    value = cast(value)
+                    break
+                except ValueError:
+                    continue
+            params[key.strip()] = value
+    return name.strip(), params
 
 
 def _make_executor(args):
@@ -68,17 +108,42 @@ def _figures(args) -> list[tuple[str, object]]:
     return out
 
 
-def _run_trace(args) -> int:
-    """``trace`` subcommand: one traced session + timeline + exporters."""
+def _build_session_spec(args, audit=None):
+    """Shared spec construction for ``trace``/``audit``; name-validated.
+
+    Returns a :class:`SessionSpec`, or an *int* exit status when a model
+    name does not resolve (the caller propagates it).
+    """
     from repro.core.base import ProtocolConfig
-    from repro.obs import (
-        TraceConfig,
-        wave_timeline,
-        write_chrome_trace,
-        write_jsonl,
-        write_run_summary,
+    from repro.obs import TraceConfig
+    from repro.streaming.spec import (
+        LatencySpec,
+        LossSpec,
+        ProtocolSpec,
+        SessionSpec,
+        available_factories,
     )
-    from repro.streaming.spec import ProtocolSpec, SessionSpec
+
+    models = {}
+    for category, option in (
+        ("protocol", args.protocol),
+        ("latency", args.latency),
+        ("loss", args.loss),
+    ):
+        if option is None:
+            models[category] = None
+            continue
+        try:
+            name, params = _parse_model_spec(option)
+        except ValueError as exc:
+            return _fail(str(exc))
+        known = available_factories(category)
+        if name not in known:
+            return _fail(
+                f"unknown {category} {name!r} "
+                f"(available: {', '.join(known)})"
+            )
+        models[category] = (name, params)
 
     config = ProtocolConfig(
         n=args.n,
@@ -87,18 +152,40 @@ def _run_trace(args) -> int:
         seed=args.seed,
         content_packets=100 if args.quick else args.packets,
     )
-    spec = SessionSpec(
+    protocol_name, protocol_params = models["protocol"]
+    return SessionSpec(
         config=config,
-        protocol=ProtocolSpec(args.protocol),
+        protocol=ProtocolSpec(protocol_name, protocol_params),
+        latency=LatencySpec(*models["latency"]) if models["latency"] else None,
+        loss=LossSpec(*models["loss"]) if models["loss"] else None,
         trace=TraceConfig(),
+        audit=audit,
     )
+
+
+def _run_trace(args) -> int:
+    """``trace`` subcommand: one traced session + timeline + exporters."""
+    from repro.obs import (
+        wave_timeline,
+        write_chrome_trace,
+        write_jsonl,
+        write_run_summary,
+    )
+
+    spec = _build_session_spec(args)
+    if isinstance(spec, int):
+        return spec
     session = spec.build()
     result = session.run()
     bus = result.trace
     assert bus is not None
 
     timeline = wave_timeline(
-        bus, title=f"{result.protocol} coordination timeline (n={config.n}, H={config.H})"
+        bus,
+        title=(
+            f"{result.protocol} coordination timeline "
+            f"(n={spec.config.n}, H={spec.config.H})"
+        ),
     )
     print(timeline.to_markdown())
     print(result.summary())
@@ -108,7 +195,10 @@ def _run_trace(args) -> int:
         f"sync={result.sync_time}"
     )
 
-    trace_out = args.trace_out or f"trace_{args.protocol}.json"
+    protocol_name, _ = _parse_model_spec(args.protocol)
+    trace_out = _ensure_parent(
+        args.trace_out or f"trace_{protocol_name}.json"
+    )
     write_chrome_trace(bus, trace_out)
     print(
         f"wrote Chrome trace-event JSON to {trace_out} "
@@ -116,12 +206,73 @@ def _run_trace(args) -> int:
         file=sys.stderr,
     )
     if args.jsonl_out:
-        write_jsonl(bus, args.jsonl_out)
+        write_jsonl(bus, _ensure_parent(args.jsonl_out))
         print(f"wrote JSONL trace to {args.jsonl_out}", file=sys.stderr)
     if args.summary_out:
-        write_run_summary(result, args.summary_out)
+        write_run_summary(result, _ensure_parent(args.summary_out))
         print(f"wrote run summary to {args.summary_out}", file=sys.stderr)
     return 0
+
+
+def _run_audit(args) -> int:
+    """``audit`` subcommand: auditors over a fresh run or a JSONL trace."""
+    from repro.obs.audit import AuditConfig, replay_jsonl
+
+    try:
+        audit_config = AuditConfig(
+            auditors=tuple(args.auditors.split(","))
+            if args.auditors
+            else AuditConfig().auditors
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    if args.from_jsonl:
+        source = Path(args.from_jsonl)
+        if not source.exists():
+            return _fail(f"trace file not found: {source}")
+        report = replay_jsonl(source, config=audit_config)
+    else:
+        spec = _build_session_spec(args, audit=audit_config)
+        if isinstance(spec, int):
+            return spec
+        result = spec.run()
+        report = result.audit
+        assert report is not None and not isinstance(report, dict)
+        print(result.summary())
+
+    print(report.summary())
+    for violation in report.violations():
+        print(f"  {violation.auditor}/{violation.code}: {violation.message}")
+        for line in violation.evidence:
+            print(f"    {line}")
+    if args.report_out:
+        report.write(_ensure_parent(args.report_out))
+        print(f"wrote audit report to {args.report_out}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
+def _run_regress(args) -> int:
+    """``regress`` subcommand: diff fresh artifacts against a baseline."""
+    from repro.experiments.regress import compare_dirs
+
+    if args.fresh is None:
+        return _fail("regress needs --fresh DIR (the artifacts to gate)")
+    baseline = Path(args.baseline)
+    fresh = Path(args.fresh)
+    for label, directory in (("baseline", baseline), ("fresh", fresh)):
+        if not directory.is_dir():
+            return _fail(f"{label} directory not found: {directory}")
+    report = compare_dirs(
+        baseline, fresh, wall_tolerance=args.wall_tolerance
+    )
+    print(report.render())
+    if args.report_out:
+        _ensure_parent(args.report_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote regress report to {args.report_out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,8 +286,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig10", "fig11", "fig12", "ablations", "all", "trace"],
-        help="which figure/ablation to run, or 'trace' for one traced run",
+        choices=[
+            "fig10", "fig11", "fig12", "ablations", "all",
+            "trace", "audit", "regress",
+        ],
+        help=(
+            "which figure/ablation to run, 'trace' for one traced run, "
+            "'audit' to run the protocol auditors, 'regress' to diff "
+            "artifact directories"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="coarser H grid, shorter content"
@@ -161,13 +319,26 @@ def main(argv: list[str] | None = None) -> int:
         help="also save all artifacts as one JSON document",
     )
     trace_group = parser.add_argument_group(
-        "trace", "options for the 'trace' subcommand"
+        "trace/audit", "options for the 'trace' and 'audit' subcommands"
     )
     trace_group.add_argument(
         "--protocol",
-        choices=["dcop", "tcop", "centralized"],
         default="tcop",
-        help="protocol to trace",
+        metavar="NAME[:k=v,...]",
+        help=(
+            "registered protocol to run (see repro.streaming."
+            "available_factories('protocol')); default tcop"
+        ),
+    )
+    trace_group.add_argument(
+        "--latency",
+        metavar="NAME[:k=v,...]",
+        help="registered latency model, e.g. constant:delay=10",
+    )
+    trace_group.add_argument(
+        "--loss",
+        metavar="NAME[:k=v,...]",
+        help="registered loss model, e.g. bernoulli:p=0.01",
     )
     trace_group.add_argument("--n", type=int, default=24, help="contents peers")
     trace_group.add_argument("--H", type=int, default=6, help="fan-out")
@@ -185,10 +356,54 @@ def main(argv: list[str] | None = None) -> int:
     trace_group.add_argument(
         "--summary-out", metavar="PATH", help="also dump a run-summary JSON"
     )
+    audit_group = parser.add_argument_group(
+        "audit", "options for the 'audit' subcommand"
+    )
+    audit_group.add_argument(
+        "--from-jsonl",
+        metavar="PATH",
+        help="audit a recorded JSONL trace instead of running a session",
+    )
+    audit_group.add_argument(
+        "--auditors",
+        metavar="NAMES",
+        help="comma-separated auditor names (default: all registered)",
+    )
+    audit_group.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the audit/regress report as JSON",
+    )
+    regress_group = parser.add_argument_group(
+        "regress", "options for the 'regress' subcommand"
+    )
+    regress_group.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default="bench_artifacts",
+        help="baseline artifact directory (default bench_artifacts)",
+    )
+    regress_group.add_argument(
+        "--fresh", metavar="DIR", help="fresh artifact directory to gate"
+    )
+    regress_group.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help=(
+            "relative wall-time slack before a slowdown regresses "
+            "(default 0.5 = +50%%)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "audit":
+        return _run_audit(args)
+    if args.experiment == "regress":
+        return _run_regress(args)
 
     start = time.time()
     artifacts = {}
@@ -202,7 +417,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         from repro.metrics.io import save_artifacts
 
-        save_artifacts(artifacts, args.out)
+        save_artifacts(artifacts, _ensure_parent(args.out))
         print(
             f"saved {len(artifacts)} artifacts to {args.out}", file=sys.stderr
         )

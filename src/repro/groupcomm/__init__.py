@@ -16,7 +16,12 @@ exhibiting the quadratic state-exchange traffic the paper's protocols
 were designed to avoid.
 """
 
-from repro.groupcomm.vector_clock import VectorClock
+from repro.groupcomm.vector_clock import CausalityTracker, VectorClock
 from repro.groupcomm.causal import CausalBroadcaster, CausalMessage
 
-__all__ = ["CausalBroadcaster", "CausalMessage", "VectorClock"]
+__all__ = [
+    "CausalBroadcaster",
+    "CausalMessage",
+    "CausalityTracker",
+    "VectorClock",
+]

@@ -1,4 +1,4 @@
-"""Observability: trace bus, time-series metrics, exporters, timelines.
+"""Observability: trace bus, time-series metrics, exporters, auditors.
 
 The subsystem is **opt-in and zero-overhead when off**: a session only
 records anything when constructed with a :class:`TraceConfig`; every
@@ -6,15 +6,40 @@ instrumentation hook in the engine, overlay, protocols, and agents is a
 single ``env.tracer is None`` check otherwise, so the tier-1 figures run
 untouched.
 
-* :mod:`repro.obs.trace` — :class:`TraceBus` + the typed event taxonomy;
+* :mod:`repro.obs.trace` — :class:`TraceBus` + the typed event taxonomy
+  and the streaming subscriber API;
 * :mod:`repro.obs.metrics` — counters/gauges/histograms sampled against
   sim-time into :class:`~repro.metrics.series.SweepSeries` columns;
 * :mod:`repro.obs.exporters` — JSONL, Chrome ``trace_event`` (Perfetto),
   and run-summary JSON;
-* :mod:`repro.obs.timeline` — per-wave coordination timelines.
+* :mod:`repro.obs.timeline` — per-wave coordination timelines;
+* :mod:`repro.obs.audit` — online protocol auditors checking the paper's
+  invariants against the live event stream, with JSON audit reports.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.audit import (
+    AllocationAuditor,
+    AuditConfig,
+    AuditReport,
+    Auditor,
+    CausalAuditor,
+    DetectorAuditor,
+    ParityAuditor,
+    TreeAuditor,
+    Violation,
+    available_auditors,
+    build_auditors,
+    register_auditor,
+    replay_jsonl,
+    summarize_audits,
+)
+from repro.obs.metrics import (
+    Counter,
+    EmptyHistogramError,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.trace import CONTROL_KINDS, TraceBus, TraceConfig, TraceEvent
 from repro.obs.timeline import wave_timeline
 from repro.obs.exporters import (
@@ -28,14 +53,29 @@ from repro.obs.exporters import (
 
 __all__ = [
     "CONTROL_KINDS",
+    "AllocationAuditor",
+    "AuditConfig",
+    "AuditReport",
+    "Auditor",
+    "CausalAuditor",
     "Counter",
+    "DetectorAuditor",
+    "EmptyHistogramError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ParityAuditor",
     "TraceBus",
     "TraceConfig",
     "TraceEvent",
+    "TreeAuditor",
+    "Violation",
+    "available_auditors",
+    "build_auditors",
+    "register_auditor",
+    "replay_jsonl",
     "run_summary",
+    "summarize_audits",
     "trace_to_chrome",
     "trace_to_jsonl",
     "wave_timeline",

@@ -1,0 +1,999 @@
+"""Online protocol auditors: the paper's invariants, checked as a run runs.
+
+PR 2's :class:`~repro.obs.trace.TraceBus` records *what* a run did; this
+module checks that what it did was *correct by the paper's own
+definitions*.  Each :class:`Auditor` subscribes to the bus
+(:meth:`TraceBus.subscribe`) and consumes the dotted-taxonomy events
+online, maintaining one protocol invariant:
+
+* :class:`TreeAuditor` — TCoP's §3 tree property: at most one confirmed
+  parent per contents peer, no parent cycles, and every activated peer's
+  parent chain leads back to the leaf through activated ancestors;
+* :class:`AllocationAuditor` — the §2 packet-allocation property: every
+  sender's per-stream data subsequence is ascending, transmitted
+  subsequences are disjoint, and their union covers the content;
+* :class:`ParityAuditor` — §3.2's parity enhancement: an independent
+  :class:`~repro.fec.decoder.ParityDecoder` model is fed from ``media.rx``
+  events, every ``fec.recover`` claim is checked against it, segments that
+  lost two or more members are flagged unrecoverable, and (when payloads
+  are concrete) the XOR reconstruction must byte-match the content;
+* :class:`CausalAuditor` — coordination messages respect causality:
+  no receive without a matching prior send, no ``confirm``/``reject``
+  without a preceding offer, no ``ack`` without a preceding reliable
+  send; vector clocks (:class:`~repro.groupcomm.CausalityTracker`) are
+  maintained per participant as the evidence substrate;
+* :class:`DetectorAuditor` — no ``detector.confirm`` against a peer that
+  is actually up (ground truth from ``peer.crash``/``peer.rejoin``), and
+  detection latency within the configured bound.
+
+Every violation is published back onto the bus as an ``audit.violation``
+(or ``audit.warning``) event carrying the evidence chain, and collected
+into an :class:`AuditReport` that serializes to JSON.  Auditors are
+strictly read-only observers — they never touch the environment — so an
+audited equal-seed run follows the identical trajectory to an unaudited
+one (pinned by test).
+
+Custom auditors register by name so they are addressable from a
+picklable :class:`AuditConfig`::
+
+    from repro.obs.audit import Auditor, register_auditor
+
+    @register_auditor("my_check")
+    class MyAuditor(Auditor):
+        name = "my_check"
+
+        def handle(self, event):
+            if event.kind == "peer.crash":
+                self.warning("my_check.crash_seen", event.subject,
+                             "a peer crashed", evidence=[event])
+
+Offline, :func:`replay_jsonl` feeds a recorded JSONL trace through the
+same auditors — the CI runs this over the uploaded sample trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.obs.trace import CONTROL_KINDS, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceBus
+    from repro.streaming.session import StreamingSession
+
+__all__ = [
+    "AllocationAuditor",
+    "AuditConfig",
+    "AuditReport",
+    "Auditor",
+    "CausalAuditor",
+    "DetectorAuditor",
+    "ParityAuditor",
+    "TreeAuditor",
+    "Violation",
+    "available_auditors",
+    "build_auditors",
+    "describe_event",
+    "register_auditor",
+    "replay_jsonl",
+    "summarize_audits",
+]
+
+#: message kinds that answer an earlier offer/request
+_RESPONSE_KINDS = frozenset({"confirm", "reject"})
+#: message kinds that solicit a response
+_OFFER_KINDS = frozenset({"request", "offer"})
+
+
+def describe_event(event: TraceEvent) -> str:
+    """Render one event as a compact, deterministic evidence line."""
+    payload = event.payload()
+    inner = " ".join(f"{k}={payload[k]!r}" for k in sorted(payload))
+    head = f"[t={event.ts:.3f}] {event.kind} {event.subject}"
+    return f"{head} {inner}" if inner else head
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach (or warning) with its evidence chain."""
+
+    auditor: str
+    code: str
+    subject: str
+    ts: float
+    message: str
+    evidence: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "auditor": self.auditor,
+            "code": self.code,
+            "subject": self.subject,
+            "ts": self.ts,
+            "message": self.message,
+            "evidence": list(self.evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(
+            auditor=data["auditor"],
+            code=data["code"],
+            subject=data["subject"],
+            ts=data["ts"],
+            message=data["message"],
+            evidence=tuple(data.get("evidence", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# auditor base + registry
+# ----------------------------------------------------------------------
+class Auditor:
+    """Base class: a read-only streaming observer of one invariant.
+
+    Subclasses implement :meth:`handle` (called per event, ``audit.*``
+    events excluded) and optionally :meth:`finish` (end-of-run checks).
+    Findings are recorded through :meth:`violation`/:meth:`warning`,
+    which also publish ``audit.*`` events back onto the bound bus.
+    """
+
+    name = "auditor"
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.warnings: List[Violation] = []
+        self.events_seen = 0
+        self._bus: Optional["TraceBus"] = None
+        self._session: Optional["StreamingSession"] = None
+        self.leaf_id = "leaf"
+        self.n_packets: Optional[int] = None
+        self._last_ts = 0.0
+
+    # -- wiring --------------------------------------------------------
+    def bind(
+        self,
+        bus: Optional["TraceBus"] = None,
+        session: Optional["StreamingSession"] = None,
+        leaf_id: Optional[str] = None,
+        n_packets: Optional[int] = None,
+    ) -> "Auditor":
+        """Attach to a bus and/or session (both optional for replay)."""
+        self._bus = bus
+        self._session = session
+        if session is not None:
+            self.leaf_id = session.leaf.peer_id
+            self.n_packets = session.config.content_packets
+        if leaf_id is not None:
+            self.leaf_id = leaf_id
+        if n_packets is not None:
+            self.n_packets = n_packets
+        return self
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Bus-facing entry point; skips the auditors' own output."""
+        if event.category == "audit":
+            return
+        self.events_seen += 1
+        self._last_ts = event.ts
+        self.handle(event)
+
+    # -- subclass surface ----------------------------------------------
+    def handle(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def finish(self, session: Optional["StreamingSession"] = None) -> None:
+        """End-of-run checks; default none."""
+
+    def extra(self) -> Dict[str, Any]:
+        """Auditor-specific report data merged into the report entry."""
+        return {}
+
+    # -- findings ------------------------------------------------------
+    def violation(
+        self,
+        code: str,
+        subject: str,
+        message: str,
+        evidence: Sequence[Union[TraceEvent, str]] = (),
+        ts: Optional[float] = None,
+    ) -> Violation:
+        return self._record(
+            self.violations, "audit.violation", code, subject, message,
+            evidence, ts,
+        )
+
+    def warning(
+        self,
+        code: str,
+        subject: str,
+        message: str,
+        evidence: Sequence[Union[TraceEvent, str]] = (),
+        ts: Optional[float] = None,
+    ) -> Violation:
+        return self._record(
+            self.warnings, "audit.warning", code, subject, message,
+            evidence, ts,
+        )
+
+    def _record(
+        self,
+        store: List[Violation],
+        kind: str,
+        code: str,
+        subject: str,
+        message: str,
+        evidence: Sequence[Union[TraceEvent, str]],
+        ts: Optional[float],
+    ) -> Violation:
+        chain = tuple(
+            describe_event(e) if isinstance(e, TraceEvent) else str(e)
+            for e in evidence
+        )
+        finding = Violation(
+            auditor=self.name,
+            code=code,
+            subject=subject,
+            ts=self._last_ts if ts is None else ts,
+            message=message,
+            evidence=chain,
+        )
+        store.append(finding)
+        if self._bus is not None:
+            self._bus.emit(
+                kind,
+                self.name,
+                code=code,
+                about=subject,
+                detail=message,
+                evidence=chain,
+            )
+        return finding
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def report_entry(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "events_seen": self.events_seen,
+            "violations": [v.to_dict() for v in self.violations],
+            "warnings": [w.to_dict() for w in self.warnings],
+            **self.extra(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {len(self.violations)} violations, "
+            f"{len(self.warnings)} warnings, {self.events_seen} events>"
+        )
+
+
+_AUDITORS: Dict[str, Type[Auditor]] = {}
+
+
+def register_auditor(name: str, cls: Optional[Type[Auditor]] = None):
+    """Register an auditor class under ``name`` (usable as a decorator)."""
+
+    def install(klass: Type[Auditor]) -> Type[Auditor]:
+        if name in _AUDITORS:
+            raise ValueError(f"auditor {name!r} is already registered")
+        _AUDITORS[name] = klass
+        return klass
+
+    if cls is None:
+        return install
+    return install(cls)
+
+
+def available_auditors() -> List[str]:
+    """Registered auditor names."""
+    return sorted(_AUDITORS)
+
+
+# ----------------------------------------------------------------------
+# the five auditors
+# ----------------------------------------------------------------------
+@register_auditor("tree")
+class TreeAuditor(Auditor):
+    """TCoP §3: one confirmed parent, acyclic, rooted at the leaf.
+
+    Consumes ``peer.attach``/``peer.detach`` (emitted at TCoP's
+    confirm/watchdog/reissue sites) and ``peer.activate``.  Protocols
+    that never attach (DCoP's redundant flooding) trivially pass.
+    """
+
+    name = "tree"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parent: Dict[str, str] = {}
+        self._attach_event: Dict[str, TraceEvent] = {}
+        self._activated: Dict[str, TraceEvent] = {}
+        self._attachments = 0
+
+    def handle(self, event: TraceEvent) -> None:
+        if event.kind == "peer.attach":
+            self._on_attach(event)
+        elif event.kind == "peer.detach":
+            self._parent.pop(event.subject, None)
+            self._attach_event.pop(event.subject, None)
+        elif event.kind == "peer.activate":
+            self._activated.setdefault(event.subject, event)
+
+    def _on_attach(self, event: TraceEvent) -> None:
+        child = event.subject
+        parent = event.payload().get("parent")
+        self._attachments += 1
+        if child in self._parent:
+            self.violation(
+                "tree.multi_parent",
+                child,
+                f"{child} attached to {parent!r} while still attached to "
+                f"{self._parent[child]!r} (no detach in between)",
+                evidence=[self._attach_event[child], event],
+            )
+        # cycle check: walking up from the new parent must not reach the
+        # child through live attachments
+        chain: List[str] = []
+        cursor: Optional[str] = parent
+        seen: set = set()
+        while cursor is not None and cursor not in seen:
+            seen.add(cursor)
+            chain.append(cursor)
+            if cursor == child:
+                self.violation(
+                    "tree.cycle",
+                    child,
+                    f"attaching {child} under {parent!r} closes a parent "
+                    f"cycle: {' -> '.join([child, *chain])}",
+                    evidence=[event],
+                )
+                break
+            cursor = self._parent.get(cursor)
+        self._parent[child] = parent
+        self._attach_event[child] = event
+
+    def finish(self, session: Optional["StreamingSession"] = None) -> None:
+        # every activated peer with a live attachment must chain back to
+        # the leaf through ancestors that themselves activated; a chain
+        # that simply ends (a leaf-issued start, e.g. after reissue) is a
+        # valid root
+        for pid, activate in self._activated.items():
+            cursor = self._parent.get(pid)
+            visited = {pid}
+            while cursor is not None and cursor != self.leaf_id:
+                if cursor in visited:
+                    break  # cycle was already reported at attach time
+                if cursor not in self._activated:
+                    self.violation(
+                        "tree.unreachable",
+                        pid,
+                        f"{pid} activated under ancestor {cursor!r} that "
+                        "never activated — its subtree is detached from "
+                        "the leaf",
+                        evidence=[activate, self._attach_event[pid]],
+                    )
+                    break
+                visited.add(cursor)
+                cursor = self._parent.get(cursor)
+
+    def extra(self) -> Dict[str, Any]:
+        return {"attachments": self._attachments}
+
+
+@register_auditor("allocation")
+class AllocationAuditor(Auditor):
+    """§2's packet allocation: ascending, disjoint, covering.
+
+    Consumes ``media.tx``/``media.rx``.  Under churn, repair, or
+    re-coordination a data packet may legitimately be transmitted twice
+    (the residual of a dead or silent peer is re-floooded), so once such
+    an event is observed double transmission/delivery demotes to a
+    warning; in a fault-free run it is a violation.
+    """
+
+    name = "allocation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (sender, stream) -> last data seq transmitted
+        self._last_seq: Dict[Tuple[str, Any], int] = {}
+        #: data seq -> first transmitting (sender, stream, event)
+        self._tx_first: Dict[int, Tuple[str, Any, TraceEvent]] = {}
+        #: data seq -> first delivery event at the leaf
+        self._delivered: Dict[int, TraceEvent] = {}
+        self._relaxed = False
+        self._crash_seen = False
+
+    def bind(self, bus=None, session=None, leaf_id=None, n_packets=None):
+        super().bind(bus, session, leaf_id=leaf_id, n_packets=n_packets)
+        if session is not None and (
+            session.spec.repair_policy is not None
+            or session.spec.churn_plan is not None
+            or session.spec.fault_plan is not None
+            or session.recoordinator is not None
+        ):
+            self._relaxed = True
+        return self
+
+    def handle(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == "media.tx":
+            self._on_tx(event)
+        elif kind == "media.rx":
+            self._on_rx(event)
+        elif kind == "peer.crash":
+            self._crash_seen = True
+            self._relaxed = True
+        elif kind in ("recoord.reissue", "detector.confirm"):
+            self._relaxed = True
+        elif kind == "msg.send" and event.payload().get("kind") == "repair":
+            self._relaxed = True
+
+    def _on_tx(self, event: TraceEvent) -> None:
+        payload = event.payload()
+        label = payload.get("label")
+        if not isinstance(label, int):
+            return  # parity packets carry no ordering/coverage obligation
+        key = (event.subject, payload.get("stream"))
+        last = self._last_seq.get(key)
+        if last is not None and label <= last:
+            self.violation(
+                "alloc.tx_order",
+                event.subject,
+                f"{event.subject} transmitted data seq {label} after seq "
+                f"{last} on the same stream — per-stream subsequences "
+                "must ascend (§2 packet allocation)",
+                evidence=[event],
+            )
+        self._last_seq[key] = label
+        first = self._tx_first.get(label)
+        if first is None:
+            self._tx_first[label] = (event.subject, payload.get("stream"), event)
+        elif (first[0], first[1]) != key:
+            record = self.warning if self._relaxed else self.violation
+            record(
+                "alloc.double_assignment",
+                event.subject,
+                f"data seq {label} transmitted by {event.subject} but "
+                f"already transmitted by {first[0]} — assigned "
+                "subsequences must be disjoint",
+                evidence=[first[2], event],
+            )
+
+    def _on_rx(self, event: TraceEvent) -> None:
+        label = event.payload().get("label")
+        if not isinstance(label, int):
+            return
+        prior = self._delivered.get(label)
+        if prior is None:
+            self._delivered[label] = event
+            return
+        record = self.warning if self._relaxed else self.violation
+        record(
+            "alloc.duplicate_delivery",
+            self.leaf_id,
+            f"data seq {label} delivered to the leaf twice "
+            f"(from {prior.payload().get('src')!r} and "
+            f"{event.payload().get('src')!r})",
+            evidence=[prior, event],
+        )
+
+    def finish(self, session: Optional["StreamingSession"] = None) -> None:
+        n = self.n_packets
+        if n is None and self._tx_first:
+            n = max(self._tx_first)
+        if not n or self._crash_seen:
+            # a crashed, un-recoordinated peer legitimately leaves its
+            # residual unsent; coverage is only owed by fault-free runs
+            return
+        missing = sorted(set(range(1, n + 1)) - set(self._tx_first))
+        if missing:
+            shown = ", ".join(str(s) for s in missing[:10])
+            if len(missing) > 10:
+                shown += f", … ({len(missing)} total)"
+            self.violation(
+                "alloc.coverage_gap",
+                self.leaf_id,
+                f"data seqs never transmitted by any peer: {shown} — the "
+                "union of assigned subsequences must cover the content",
+            )
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "data_seqs_transmitted": len(self._tx_first),
+            "data_seqs_delivered": len(self._delivered),
+        }
+
+
+@register_auditor("parity")
+class ParityAuditor(Auditor):
+    """§3.2's parity enhancement, checked against an independent model.
+
+    A second :class:`~repro.fec.decoder.ParityDecoder` is fed (label-only)
+    from ``media.rx`` events; every ``fec.recover`` the leaf claims must
+    be reproducible by the model, segments left with two or more missing
+    members are flagged unrecoverable (a warning: the loss regime, not
+    the protocol, decides that), and with concrete payloads the real
+    decoder's XOR reconstruction must byte-match the content.
+    """
+
+    name = "parity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._model = None
+        self._pending_labels: List[Any] = []
+        self._recoveries = 0
+
+    def _ensure_model(self):
+        if self._model is None and self.n_packets:
+            from repro.fec import ParityDecoder
+
+            self._model = ParityDecoder(self.n_packets)
+            for label in self._pending_labels:
+                from repro.media.packet import Packet
+
+                self._model.add(Packet(label=label))
+            self._pending_labels.clear()
+        return self._model
+
+    def handle(self, event: TraceEvent) -> None:
+        if event.kind == "media.rx":
+            label = event.payload().get("label")
+            if isinstance(label, int) and self.n_packets:
+                # data seqs beyond the declared content length would
+                # corrupt the model; surface them instead
+                if not 1 <= label <= self.n_packets:
+                    self.violation(
+                        "parity.alien_seq",
+                        event.subject,
+                        f"delivered data seq {label} outside the content "
+                        f"range 1..{self.n_packets}",
+                        evidence=[event],
+                    )
+                    return
+            model = self._ensure_model()
+            if model is None:
+                self._pending_labels.append(label)
+            else:
+                from repro.media.packet import Packet
+
+                model.add(Packet(label=label))
+        elif event.kind == "fec.recover":
+            self._recoveries += 1
+            seq = event.payload().get("seq")
+            model = self._ensure_model()
+            if model is not None and not model.has_data(seq):
+                self.violation(
+                    "parity.phantom_recovery",
+                    event.subject,
+                    f"leaf claims data seq {seq} recovered, but no parity "
+                    "constraint over the delivered packets can produce it",
+                    evidence=[event],
+                )
+
+    def finish(self, session: Optional["StreamingSession"] = None) -> None:
+        model = self._ensure_model()
+        if model is not None:
+            for parity_label, covers in sorted(
+                model._constraints.items(), key=repr
+            ):
+                missing = [c for c in covers if not model.has(c)]
+                if len(missing) >= 2:
+                    self.warning(
+                        "parity.unrecoverable_segment",
+                        self.leaf_id,
+                        f"segment of parity {parity_label!r} lost "
+                        f"{len(missing)} members ({missing!r}) — beyond "
+                        "single-loss XOR recovery",
+                    )
+        if session is not None:
+            leaf = session.leaf
+            if model is not None and model.data_seqs_held() != (
+                leaf.decoder.data_seqs_held()
+            ):
+                self.violation(
+                    "parity.model_divergence",
+                    self.leaf_id,
+                    "the leaf decoder holds a different data set than the "
+                    "audit model reconstructed from the delivery trace",
+                )
+            if session.content.has_payload and not leaf.decoder.verify_against(
+                session.content
+            ):
+                self.violation(
+                    "parity.xor_mismatch",
+                    self.leaf_id,
+                    "an XOR-reconstructed payload does not byte-match the "
+                    "source content",
+                )
+
+    def extra(self) -> Dict[str, Any]:
+        return {"recoveries_checked": self._recoveries}
+
+
+@register_auditor("causal")
+class CausalAuditor(Auditor):
+    """Coordination messages respect causality.
+
+    The protocols themselves do not stamp vector clocks, so the auditor
+    maintains them (:class:`~repro.groupcomm.CausalityTracker`) from the
+    observed ``msg.send``/``msg.recv`` control flow and checks the
+    orderings that are enforceable from the outside: a receive needs a
+    matching earlier send, a ``confirm``/``reject`` needs a preceding
+    offer from its destination, an ``ack`` needs a preceding reliable
+    send from its destination.
+    """
+
+    name = "causal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        from repro.groupcomm import CausalityTracker
+
+        self._tracker = CausalityTracker()
+        self._sends: Dict[Tuple[str, str, str], int] = {}
+        self._recvs: Dict[Tuple[str, str, str], int] = {}
+        self._offered: set = set()
+        self._control_pairs: set = set()
+        self._send_events: Dict[Tuple[str, str, str], TraceEvent] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        payload = event.payload()
+        kind = payload.get("kind")
+        if kind not in CONTROL_KINDS:
+            return
+        if event.kind == "msg.send":
+            src, dst = event.subject, payload.get("dst")
+            key = (src, dst, kind)
+            self._sends[key] = self._sends.get(key, 0) + 1
+            self._send_events[key] = event
+            self._tracker.on_send(src, dst)
+            if kind in _OFFER_KINDS:
+                self._offered.add((src, dst))
+            self._control_pairs.add((src, dst))
+        elif event.kind == "msg.recv":
+            dst, src = event.subject, payload.get("src")
+            key = (src, dst, kind)
+            self._recvs[key] = self._recvs.get(key, 0) + 1
+            self._tracker.on_recv(dst, src)
+            if self._recvs[key] > self._sends.get(key, 0):
+                self.violation(
+                    "causal.recv_before_send",
+                    dst,
+                    f"{dst} received {kind!r} #{self._recvs[key]} from "
+                    f"{src} but only {self._sends.get(key, 0)} were sent "
+                    "— a receive without a causally prior send",
+                    evidence=[event],
+                )
+            if kind in _RESPONSE_KINDS and (dst, src) not in self._offered:
+                self.violation(
+                    "causal.unsolicited_response",
+                    dst,
+                    f"{dst} received {kind!r} from {src} without ever "
+                    "offering to it — a response with no request in its "
+                    "causal past",
+                    evidence=[event],
+                )
+            if kind == "ack" and (dst, src) not in self._control_pairs:
+                self.violation(
+                    "causal.unsolicited_ack",
+                    dst,
+                    f"{dst} received an ack from {src} without any prior "
+                    "control send toward it",
+                    evidence=[event],
+                )
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "participants": len(self._tracker.members()),
+            "clocks": self._tracker.snapshot(),
+        }
+
+
+@register_auditor("detector")
+class DetectorAuditor(Auditor):
+    """Failure detection vs the simulator's ground truth.
+
+    ``peer.crash``/``peer.rejoin`` give the oracle up/down state; a
+    ``detector.confirm`` against a peer that is up is a violation (false
+    suspicions are allowed — they are the price of an asynchronous
+    detector — and surface as warnings), and a reported detection
+    latency beyond the bound is a violation.  The default bound is
+    ``(confirm_misses + 2) · period + 2δ`` from the live session's
+    policy; :attr:`AuditConfig.detection_latency_bound_ms` overrides.
+    """
+
+    name = "detector"
+
+    def __init__(self, latency_bound_ms: Optional[float] = None) -> None:
+        super().__init__()
+        self.latency_bound_ms = latency_bound_ms
+        self._down: Dict[str, TraceEvent] = {}
+        self._confirms = 0
+
+    def bind(self, bus=None, session=None, leaf_id=None, n_packets=None):
+        super().bind(bus, session, leaf_id=leaf_id, n_packets=n_packets)
+        if (
+            self.latency_bound_ms is None
+            and session is not None
+            and session.detector is not None
+        ):
+            policy = session.detector.policy
+            self.latency_bound_ms = (
+                (policy.confirm_misses + 2) * session.detector.period
+                + 2 * session.config.delta
+            )
+        return self
+
+    def handle(self, event: TraceEvent) -> None:
+        if event.kind == "peer.crash":
+            self._down[event.subject] = event
+        elif event.kind == "peer.rejoin":
+            self._down.pop(event.subject, None)
+        elif event.kind == "detector.suspect":
+            if event.payload().get("false"):
+                self.warning(
+                    "detector.false_suspicion",
+                    event.subject,
+                    f"{event.subject} suspected while actually up",
+                    evidence=[event],
+                )
+        elif event.kind == "detector.confirm":
+            self._confirms += 1
+            pid = event.subject
+            if pid not in self._down:
+                self.violation(
+                    "detector.false_confirm",
+                    pid,
+                    f"detector confirmed {pid} failed, but no injected "
+                    "fault has it down at this instant",
+                    evidence=[event],
+                )
+                return
+            latency = event.payload().get("latency")
+            bound = self.latency_bound_ms
+            if latency is not None and bound is not None and latency > bound:
+                self.violation(
+                    "detector.latency_exceeded",
+                    pid,
+                    f"detection latency {latency:.1f} ms exceeds the "
+                    f"bound {bound:.1f} ms",
+                    evidence=[self._down[pid], event],
+                )
+
+    def extra(self) -> Dict[str, Any]:
+        return {"confirms_checked": self._confirms}
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+#: the full built-in suite, in execution order
+DEFAULT_AUDITORS = ("tree", "allocation", "parity", "causal", "detector")
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Which auditors to run (picklable; rides on a ``SessionSpec``).
+
+    Enabling auditing implies tracing: a session whose spec carries an
+    ``audit`` config but no ``trace`` config gets a default
+    :class:`~repro.obs.trace.TraceConfig` so the bus exists to subscribe
+    to (subscribers see every event regardless of category filters).
+    """
+
+    auditors: Tuple[str, ...] = DEFAULT_AUDITORS
+    #: override for :class:`DetectorAuditor`'s latency bound (ms)
+    detection_latency_bound_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.auditors:
+            raise ValueError("audit config needs at least one auditor")
+        unknown = [a for a in self.auditors if a not in _AUDITORS]
+        if unknown:
+            known = ", ".join(available_auditors())
+            raise ValueError(
+                f"unknown auditor(s) {unknown!r} (available: {known})"
+            )
+
+
+def build_auditors(config: AuditConfig) -> List[Auditor]:
+    """Instantiate the auditors an :class:`AuditConfig` names."""
+    out: List[Auditor] = []
+    for name in config.auditors:
+        cls = _AUDITORS[name]
+        if name == "detector":
+            out.append(cls(latency_bound_ms=config.detection_latency_bound_ms))
+        else:
+            out.append(cls())
+    return out
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+@dataclass
+class AuditReport:
+    """Per-run audit verdicts, JSON-serializable."""
+
+    protocol: str
+    seed: int
+    auditors: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_auditors(
+        cls, protocol: str, seed: int, auditors: Iterable[Auditor]
+    ) -> "AuditReport":
+        return cls(
+            protocol=protocol,
+            seed=seed,
+            auditors={a.name: a.report_entry() for a in auditors},
+        )
+
+    @property
+    def passed(self) -> bool:
+        return all(entry["passed"] for entry in self.auditors.values())
+
+    @property
+    def violation_count(self) -> int:
+        return sum(
+            len(entry["violations"]) for entry in self.auditors.values()
+        )
+
+    @property
+    def warning_count(self) -> int:
+        return sum(len(entry["warnings"]) for entry in self.auditors.values())
+
+    def violations(self) -> List[Violation]:
+        """Every violation across all auditors, in auditor order."""
+        return [
+            Violation.from_dict(v)
+            for entry in self.auditors.values()
+            for v in entry["violations"]
+        ]
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"audit {verdict}: {self.protocol} seed={self.seed} — "
+            f"{self.violation_count} violations, "
+            f"{self.warning_count} warnings across "
+            f"{len(self.auditors)} auditors"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "audit_report",
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "passed": self.passed,
+            "violation_count": self.violation_count,
+            "warning_count": self.warning_count,
+            "auditors": self.auditors,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AuditReport":
+        if data.get("type") != "audit_report":
+            raise ValueError(
+                f"not an audit_report payload: {data.get('type')!r}"
+            )
+        return cls(
+            protocol=data["protocol"],
+            seed=data["seed"],
+            auditors=dict(data["auditors"]),
+        )
+
+    def write(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        )
+
+
+def summarize_audits(
+    reports: Iterable[Union[AuditReport, Dict[str, Any], None]],
+) -> Dict[str, Any]:
+    """Aggregate many runs' audit verdicts (reports or their dict forms).
+
+    Sweep executors :meth:`~repro.streaming.session.SessionResult.detach`
+    results, so parallel sweeps hand back dict-form reports; this folds
+    either form into one cross-run summary.
+    """
+    runs = passed = 0
+    by_code: Dict[str, int] = {}
+    for report in reports:
+        if report is None:
+            continue
+        if isinstance(report, dict):
+            report = AuditReport.from_dict(report)
+        runs += 1
+        if report.passed:
+            passed += 1
+        for violation in report.violations():
+            by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    return {
+        "type": "audit_summary",
+        "runs": runs,
+        "passed": passed,
+        "failed": runs - passed,
+        "violations_by_code": dict(sorted(by_code.items())),
+    }
+
+
+# ----------------------------------------------------------------------
+# offline replay
+# ----------------------------------------------------------------------
+def _tuplify(value: Any) -> Any:
+    """JSON round-trip turns label tuples into lists; undo that."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def replay_jsonl(
+    source: Union[str, Path, Iterable[str]],
+    config: Optional[AuditConfig] = None,
+    leaf_id: str = "leaf",
+    n_packets: Optional[int] = None,
+    protocol: str = "replay",
+    seed: int = -1,
+) -> AuditReport:
+    """Run the auditor suite over a recorded JSONL trace.
+
+    ``source`` is a path or an iterable of JSONL lines (the format
+    :func:`~repro.obs.exporters.trace_to_jsonl` writes).  ``n_packets``
+    defaults to the largest data seq observed in ``media.tx``/``media.rx``
+    events, which is exact whenever the trace covers the full content.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    events: List[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        ts = record.pop("ts")
+        kind = record.pop("kind")
+        subject = record.pop("subject")
+        data = tuple(
+            sorted((k, _tuplify(v)) for k, v in record.items())
+        )
+        events.append(TraceEvent(ts=ts, kind=kind, subject=subject, data=data))
+    if n_packets is None:
+        seqs = [
+            e.payload().get("label")
+            for e in events
+            if e.kind in ("media.tx", "media.rx")
+        ]
+        data_seqs = [s for s in seqs if isinstance(s, int)]
+        n_packets = max(data_seqs) if data_seqs else None
+    auditors = build_auditors(config or AuditConfig())
+    for auditor in auditors:
+        auditor.bind(leaf_id=leaf_id, n_packets=n_packets)
+    for event in events:
+        for auditor in auditors:
+            auditor.on_event(event)
+    for auditor in auditors:
+        auditor.finish()
+    return AuditReport.from_auditors(protocol, seed, auditors)

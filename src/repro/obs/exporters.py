@@ -183,6 +183,9 @@ def run_summary(result: "SessionResult") -> Dict[str, Any]:
         }
     if result.timeseries is not None:
         summary["timeseries"] = series_to_dict(result.timeseries)
+    audit = result.audit
+    if audit is not None:
+        summary["audit"] = audit if isinstance(audit, dict) else audit.to_dict()
     return summary
 
 

@@ -21,6 +21,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.metrics.series import SweepSeries
 
 
+class EmptyHistogramError(ValueError):
+    """A quantile was asked of a histogram with no observations."""
+
+
 @dataclass
 class Counter:
     """Monotonically increasing total."""
@@ -76,7 +80,33 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100), estimated from the buckets.
+
+        Returns the upper edge of the bucket containing the quantile
+        rank; observations past the last edge report the last finite
+        edge (the implicit ``+inf`` bucket has no upper edge to name).
+        Raises :class:`EmptyHistogramError` when nothing was observed —
+        an empty histogram has no quantiles, and silently returning a
+        number would hide a dead instrument.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            raise EmptyHistogramError(
+                f"histogram {self.name!r} is empty: no observations to "
+                f"take the p{q:g} of"
+            )
+        rank = max(1, -(-self.count * q // 100))  # ceil without floats
+        cumulative = 0
+        for i, edge in enumerate(self.bounds):
+            cumulative += self.bucket_counts[i]
+            if cumulative >= rank:
+                return edge
+        return self.bounds[-1]
+
     def summary(self) -> Dict[str, Any]:
+        """Bucket counts + moments; well-defined (mean None) when empty."""
         return {
             "count": self.count,
             "mean": self.mean,

@@ -25,7 +25,14 @@ category   kinds
 ``detector`` ``detector.suspect`` ``detector.confirm``
 ``buffer`` ``buffer.underrun`` ``buffer.overrun``
 ``recoord`` ``recoord.reissue``
+``media``  ``media.tx`` ``media.rx`` (per-packet stream plane)
+``fec``    ``fec.recover`` (parity reconstruction of a lost packet)
+``audit``  ``audit.violation`` ``audit.warning`` (auditor verdicts)
 ========== =====================================================
+
+Consumers that need events *as they happen* (rather than the post-hoc
+``events`` buffer) register a callback via :meth:`TraceBus.subscribe`;
+see :mod:`repro.obs.audit` for the principal client.
 
 All payload values are JSON primitives, so a trace serializes verbatim
 (see :mod:`repro.obs.exporters`) and two equal-seed runs produce
@@ -35,7 +42,16 @@ byte-identical dumps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
@@ -124,8 +140,33 @@ class TraceBus:
     counts_by_kind: Dict[str, int] = field(default_factory=dict)
     #: registry whose counters mirror send totals; wired by the session
     registry: Optional["MetricsRegistry"] = None
+    #: streaming callbacks receiving every event (even filtered/capped)
+    subscribers: List[Callable[[TraceEvent], None]] = field(
+        default_factory=list
+    )
     #: highest flooding round a ``wave.start`` was recorded for
     _waves_seen: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Register a streaming callback invoked on every emitted event.
+
+        Subscribers see *all* events — including those suppressed from
+        the buffer by category filters or the ``max_events`` cap — so an
+        online auditor's view is never truncated.  Callbacks run
+        synchronously inside :meth:`emit`, after the event is appended
+        to the log; a callback may itself ``emit`` (e.g. an
+        ``audit.violation``), which re-enters the bus and is dispatched
+        to the subscriber snapshot taken at that inner emit.
+        """
+        self.subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        try:
+            self.subscribers.remove(callback)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, subject: str, /, **data: Any) -> None:
@@ -148,19 +189,24 @@ class TraceBus:
                 and self.in_flight_control > 0
             ):
                 self.in_flight_control -= 1
-        if not self.config.wants(kind):
-            return
-        if len(self.events) >= self.config.max_events:
+        stored = self.config.wants(kind)
+        if stored and len(self.events) >= self.config.max_events:
             self.dropped_events += 1
+            stored = False
+        if not stored and not self.subscribers:
             return
-        self.events.append(
-            TraceEvent(
-                ts=self.env.now,
-                kind=kind,
-                subject=subject,
-                data=tuple(sorted(data.items())),
-            )
+        event = TraceEvent(
+            ts=self.env.now,
+            kind=kind,
+            subject=subject,
+            data=tuple(sorted(data.items())),
         )
+        if stored:
+            self.events.append(event)
+        if self.subscribers:
+            # snapshot: a callback may (un)subscribe or re-enter emit
+            for callback in tuple(self.subscribers):
+                callback(event)
 
     def wave_start(self, round_: int, subject: str, /, **data: Any) -> None:
         """Emit ``wave.start`` once per flooding round (first sender wins)."""

@@ -123,6 +123,7 @@ class ContentsPeerAgent:
         return stream
 
     def add_stream(self, stream: Stream) -> None:
+        stream_id = len(self.streams)
         self.streams.append(stream)
         if not stream.exhausted:
             if self.env.tracer is not None:
@@ -130,8 +131,11 @@ class ContentsPeerAgent:
                     "peer.stream_start",
                     self.peer_id,
                     packets=stream.remaining(),
+                    stream=stream_id,
                 )
-            self.env.process(self._transmit_loop(stream, self._epoch))
+            self.env.process(
+                self._transmit_loop(stream, self._epoch, stream_id)
+            )
         if (
             self.session.detector is not None
             and self.active
@@ -140,7 +144,7 @@ class ContentsPeerAgent:
             self._heartbeat_running = True
             self.env.process(self._heartbeat_loop(self._epoch))
 
-    def _transmit_loop(self, stream: Stream, epoch: int):
+    def _transmit_loop(self, stream: Stream, epoch: int, stream_id: int = 0):
         """Pace packets of one stream to the leaf.
 
         The rate is re-read every iteration so handoffs (which mutate the
@@ -166,6 +170,10 @@ class ContentsPeerAgent:
             pkt = stream.pop_next()
             if pkt is None:
                 return
+            if self.env.tracer is not None:
+                self.env.tracer.emit(
+                    "media.tx", self.peer_id, label=pkt.label, stream=stream_id
+                )
             self.session.overlay.send(
                 self.peer_id,
                 leaf_id,
@@ -231,9 +239,11 @@ class ContentsPeerAgent:
             return
         self.node.recover()
         self._epoch += 1
-        for stream in self.streams:
+        for stream_id, stream in enumerate(self.streams):
             if not stream.exhausted:
-                self.env.process(self._transmit_loop(stream, self._epoch))
+                self.env.process(
+                    self._transmit_loop(stream, self._epoch, stream_id)
+                )
         if (
             self.session.detector is not None
             and self.active

@@ -89,6 +89,10 @@ class LeafPeerAgent:
                 )
             return
         pkt = message.body
+        if self.env.tracer is not None:
+            self.env.tracer.emit(
+                "media.rx", self.peer_id, label=pkt.label, src=message.src
+            )
         self.arrival_times.append(now)
         if self.first_arrival is None:
             self.first_arrival = now
@@ -114,7 +118,13 @@ class LeafPeerAgent:
                 self.order_violations += 1
         # every newly held data seq (received or parity-recovered) becomes
         # available for playback
-        for seq in self.decoder.add(pkt):
+        newly = self.decoder.add(pkt)
+        if self.env.tracer is not None:
+            direct = pkt.label if not pkt.is_parity else None
+            for seq in sorted(newly):
+                if seq != direct:
+                    self.env.tracer.emit("fec.recover", self.peer_id, seq=seq)
+        for seq in newly:
             self.buffer.offer(seq, now)
 
     # ------------------------------------------------------------------

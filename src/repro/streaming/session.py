@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.audit import AuditConfig, AuditReport, Auditor
     from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
     from repro.streaming.repair import RepairMonitor, RepairPolicy
     from repro.streaming.spec import SessionSpec
@@ -95,6 +96,11 @@ class SessionResult:
     timeseries: Optional[object] = field(
         default=None, repr=False, compare=False
     )
+    #: per-run :class:`~repro.obs.audit.AuditReport` (present only when
+    #: auditing was enabled) — or, after :meth:`detach`, its dict form
+    audit: Union["AuditReport", Dict[str, Any], None] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_active(self) -> bool:
@@ -122,11 +128,12 @@ class SessionResult:
     def detach(self) -> "SessionResult":
         """A copy safe to pickle and ship across process boundaries.
 
-        The two runtime handles are swapped for their exported JSON-able
+        The runtime handles are swapped for their exported JSON-able
         forms: ``trace`` (a live :class:`~repro.obs.trace.TraceBus`
         holding the whole simulation object graph) becomes a dict of
-        event records plus trace statistics, and ``timeseries`` becomes
-        the :func:`~repro.metrics.io.series_to_dict` payload.  Every
+        event records plus trace statistics, ``timeseries`` becomes
+        the :func:`~repro.metrics.io.series_to_dict` payload, and
+        ``audit`` becomes the report's ``to_dict()`` form.  Every
         scalar field is untouched.  Idempotent: detaching an already
         detached (or trace-less) result returns ``self``.
 
@@ -137,7 +144,11 @@ class SessionResult:
 
         trace = self.trace
         timeseries = self.timeseries
+        audit = self.audit
         detached = False
+        if audit is not None and not isinstance(audit, dict):
+            audit = audit.to_dict()
+            detached = True
         if isinstance(trace, TraceBus):
             from repro.obs.exporters import event_to_dict
 
@@ -156,7 +167,9 @@ class SessionResult:
             detached = True
         if not detached:
             return self
-        return dataclass_replace(self, trace=trace, timeseries=timeseries)
+        return dataclass_replace(
+            self, trace=trace, timeseries=timeseries, audit=audit
+        )
 
 
 class StreamingSession:
@@ -202,6 +215,7 @@ class StreamingSession:
         detector_policy: Optional[DetectorPolicy] = None,
         churn_plan: Optional[ChurnPlan] = None,
         trace: Optional[TraceConfig] = None,
+        audit: Optional["AuditConfig"] = None,
     ) -> None:
         warnings.warn(
             "constructing StreamingSession(...) from keyword arguments is "
@@ -231,6 +245,7 @@ class StreamingSession:
                 detector_policy=detector_policy,
                 churn_plan=churn_plan,
                 trace=trace,
+                audit=audit,
             )
         )
 
@@ -266,6 +281,10 @@ class StreamingSession:
         detector_policy = spec.detector_policy
         churn_plan = spec.churn_plan
         trace = spec.trace
+        audit = spec.audit
+        if audit is not None and trace is None:
+            # auditors subscribe to the bus, so auditing implies tracing
+            trace = TraceConfig()
 
         self.spec = spec
         self.config = config
@@ -368,6 +387,16 @@ class StreamingSession:
             self.trace_bus.participants = [self.leaf.peer_id, *self.peer_ids]
             if trace.metrics:
                 self._wire_metrics(trace)
+        # --- online auditors (read-only subscribers; opt-in) -----------
+        self.auditors: List["Auditor"] = []
+        self._audit_report: Optional["AuditReport"] = None
+        if audit is not None:
+            from repro.obs.audit import build_auditors
+
+            self.auditors = build_auditors(audit)
+            for auditor in self.auditors:
+                auditor.bind(self.trace_bus, self)
+                self.trace_bus.subscribe(auditor.on_event)
 
     # ------------------------------------------------------------------
     # observability
@@ -571,6 +600,16 @@ class StreamingSession:
         det = self.detector
         rec = self.recoordinator
         timeseries = None
+        if self.auditors and self._audit_report is None:
+            # finish before finalize() so audit.* events emitted here are
+            # part of the log the finalizer sorts into time order
+            for auditor in self.auditors:
+                auditor.finish(self)
+            from repro.obs.audit import AuditReport
+
+            self._audit_report = AuditReport.from_auditors(
+                self.protocol.name, cfg.seed, self.auditors
+            )
         if self.trace_bus is not None:
             self.trace_bus.finalize()
             if self.metrics_registry is not None:
@@ -621,6 +660,7 @@ class StreamingSession:
             ),
             trace=self.trace_bus,
             timeseries=timeseries,
+            audit=self._audit_report,
         )
 
     def __repr__(self) -> str:

@@ -70,6 +70,7 @@ from repro.net.latency import (
 )
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
+from repro.obs.audit import AuditConfig
 from repro.obs.trace import TraceConfig
 from repro.streaming.adaptive import RateAdaptationPolicy
 from repro.streaming.detector import DetectorPolicy
@@ -341,6 +342,8 @@ class SessionSpec:
     detector_policy: Optional[DetectorPolicy] = None
     churn_plan: Optional[ChurnPlan] = None
     trace: Optional[TraceConfig] = None
+    #: online protocol auditors; implies a default trace when none is set
+    audit: Optional[AuditConfig] = None
 
     #: legacy ``StreamingSession`` kwarg → spec field renames
     _KWARG_ALIASES = {

@@ -77,6 +77,118 @@ def test_trace_subcommand_optional_outputs(tmp_path, capsys):
     assert doc["timeseries"]["type"] == "series"
 
 
+def test_unknown_model_names_fail_with_one_line_error(capsys):
+    # unknown registry names exit 2 with a single stderr line, never a
+    # traceback; the message lists what IS available
+    for argv in (
+        ["trace", "--quick", "--protocol", "nope"],
+        ["trace", "--quick", "--latency", "warp"],
+        ["audit", "--quick", "--loss", "gremlins"],
+    ):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("repro-experiments: error:")
+        assert "available:" in captured.err
+        assert captured.err.count("\n") == 1
+
+
+def test_malformed_model_params_fail_cleanly(capsys):
+    rc = main(["trace", "--quick", "--protocol", "tcop:badpair"])
+    assert rc == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_out_paths_create_parent_directories(tmp_path, capsys):
+    out = tmp_path / "deep" / "nested" / "trace.json"
+    rc = main(
+        [
+            "trace", "--protocol", "tcop", "--quick",
+            "--n", "10", "--H", "4", "--trace-out", str(out),
+            "--jsonl-out", str(tmp_path / "other" / "t.jsonl"),
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    assert out.exists()
+    assert (tmp_path / "other" / "t.jsonl").exists()
+
+
+def test_audit_subcommand_fresh_run_and_replay(tmp_path, capsys):
+    import json
+
+    jsonl = tmp_path / "trace.jsonl"
+    report = tmp_path / "reports" / "audit.json"
+    rc = main(
+        [
+            "trace", "--protocol", "tcop", "--quick",
+            "--n", "10", "--H", "4",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--jsonl-out", str(jsonl),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    # fresh audited run, report written through a missing parent dir
+    rc = main(
+        [
+            "audit", "--protocol", "tcop", "--quick",
+            "--n", "10", "--H", "4", "--report-out", str(report),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit PASS" in out
+    doc = json.loads(report.read_text())
+    assert doc["type"] == "audit_report" and doc["passed"] is True
+    # replay mode over the recorded JSONL
+    rc = main(["audit", "--from-jsonl", str(jsonl)])
+    assert rc == 0
+    assert "audit PASS" in capsys.readouterr().out
+    # missing trace file: clean one-line failure
+    rc = main(["audit", "--from-jsonl", str(tmp_path / "absent.jsonl")])
+    assert rc == 2
+    assert main(["audit", "--quick", "--auditors", "tree,bogus"]) == 2
+    capsys.readouterr()
+
+
+def test_regress_subcommand_gates_artifacts(tmp_path, capsys):
+    import json
+
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    payload = {
+        "bench": "demo", "total_wall_s": 1.0,
+        "tests": {"t": {"wall_s": 1.0, "scalars": {"rounds": 9}}},
+    }
+    (base / "BENCH_demo.json").write_text(json.dumps(payload))
+    (fresh / "BENCH_demo.json").write_text(json.dumps(payload))
+    rc = main(["regress", "--baseline", str(base), "--fresh", str(fresh)])
+    assert rc == 0
+    assert "regress: OK" in capsys.readouterr().out
+    # a slowdown beyond tolerance flips the exit code
+    slow = dict(payload, total_wall_s=10.0)
+    (fresh / "BENCH_demo.json").write_text(json.dumps(slow))
+    rc = main(["regress", "--baseline", str(base), "--fresh", str(fresh)])
+    assert rc == 1
+    assert "regress: FAILED" in capsys.readouterr().out
+    # ...and a looser tolerance absorbs it
+    rc = main(
+        [
+            "regress", "--baseline", str(base), "--fresh", str(fresh),
+            "--wall-tolerance", "20",
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    # missing inputs fail cleanly
+    assert main(["regress", "--baseline", str(base)]) == 2
+    assert main(
+        ["regress", "--baseline", str(tmp_path / "nope"), "--fresh", str(fresh)]
+    ) == 2
+    capsys.readouterr()
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])

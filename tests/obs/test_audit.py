@@ -1,0 +1,337 @@
+"""Online protocol auditors: clean passes, broken doubles, replay, reports."""
+
+import json
+
+import pytest
+
+from repro.core import ProtocolConfig, TCoP
+from repro.core.tcop import ConfirmMessage
+from repro.obs import (
+    AuditConfig,
+    AuditReport,
+    Auditor,
+    TraceBus,
+    TraceConfig,
+    build_auditors,
+    replay_jsonl,
+    summarize_audits,
+    write_jsonl,
+)
+from repro.obs.audit import (
+    AllocationAuditor,
+    CausalAuditor,
+    DetectorAuditor,
+    ParityAuditor,
+    describe_event,
+    register_auditor,
+)
+from repro.sim.engine import Environment
+from repro.streaming import ProtocolSpec, SessionSpec
+
+
+def audited_spec(protocol="tcop", *, audit=None, **cfg_kw):
+    defaults = dict(n=12, H=4, fault_margin=1, content_packets=100, seed=5)
+    defaults.update(cfg_kw)
+    return SessionSpec(
+        config=ProtocolConfig(**defaults),
+        protocol=ProtocolSpec(protocol),
+        audit=audit or AuditConfig(),
+    )
+
+
+def feed(auditor, *emits, n_packets=None, finish=True):
+    """Drive one auditor over crafted events through a real bus."""
+    bus = TraceBus(TraceConfig(), Environment())
+    auditor.bind(bus, n_packets=n_packets)
+    bus.subscribe(auditor.on_event)
+    for kind, subject, payload in emits:
+        bus.emit(kind, subject, **payload)
+    if finish:
+        auditor.finish()
+    return bus
+
+
+# ----------------------------------------------------------------------
+# clean runs pass
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["tcop", "dcop", "centralized"])
+def test_figure_shaped_runs_pass_all_auditors(protocol):
+    result = audited_spec(protocol).run()
+    report = result.audit
+    assert isinstance(report, AuditReport)
+    assert report.passed
+    assert report.violation_count == 0
+    assert report.warning_count == 0
+    assert sorted(report.auditors) == [
+        "allocation", "causal", "detector", "parity", "tree",
+    ]
+    # every auditor actually consumed the stream
+    assert all(e["events_seen"] > 0 for e in report.auditors.values())
+    # verdicts were also published back onto the bus as audit.* events
+    assert not result.trace.of_kind("audit.violation")
+
+
+def test_audit_implies_tracing():
+    spec = audited_spec("dcop")
+    assert spec.trace is None
+    result = spec.run()
+    assert result.trace is not None
+    assert result.audit is not None
+
+
+def test_audited_run_is_trajectory_identical_to_unaudited():
+    # the paper-facing guarantee: auditors are read-only observers, so an
+    # audited equal-seed run replays the identical trajectory
+    plain = audited_spec("tcop").replace(audit=None, trace=TraceConfig()).run()
+    audited = audited_spec("tcop").run()
+    assert audited.summary() == plain.summary()
+    assert audited.activation_times == plain.activation_times
+    assert audited.elapsed == plain.elapsed
+    assert audited.control_packets_total == plain.control_packets_total
+
+
+# ----------------------------------------------------------------------
+# broken protocol doubles are caught, with evidence
+# ----------------------------------------------------------------------
+class DoubleParentTCoP(TCoP):
+    """Deliberately broken: accepts every offer, ignoring its parent."""
+
+    def _on_offer(self, agent, offer):
+        if agent.parent is not None and not agent.active:
+            # claim the second parent too — exactly the multi-parent
+            # defect the tree invariant forbids
+            agent.parent = offer.sender
+            if agent.env.tracer is not None:
+                agent.env.tracer.emit(
+                    "peer.attach", agent.peer_id, parent=offer.sender
+                )
+            agent.send_control(
+                offer.sender, "confirm",
+                ConfirmMessage(agent.peer_id, offer.offer_id, True),
+            )
+            return
+        super()._on_offer(agent, offer)
+
+
+def test_double_parent_tcop_is_caught_with_evidence_chain():
+    spec = audited_spec("tcop", n=16, H=8).replace(
+        protocol=DoubleParentTCoP()
+    )
+    report = spec.run().audit
+    assert not report.passed
+    codes = {v.code for v in report.violations()}
+    assert "tree.multi_parent" in codes
+    offender = next(
+        v for v in report.violations() if v.code == "tree.multi_parent"
+    )
+    # the evidence chain carries both attach events, oldest first
+    assert len(offender.evidence) == 2
+    assert all("peer.attach" in line for line in offender.evidence)
+    assert offender.subject in offender.evidence[1]
+
+
+def test_double_assignment_and_duplicate_delivery_are_caught():
+    auditor = AllocationAuditor()
+    feed(
+        auditor,
+        ("media.tx", "CP1", dict(label=1, stream=0)),
+        ("media.tx", "CP1", dict(label=2, stream=0)),
+        ("media.tx", "CP2", dict(label=2, stream=0)),  # double assignment
+        ("media.rx", "leaf", dict(label=1, src="CP1")),
+        ("media.rx", "leaf", dict(label=1, src="CP2")),  # duplicate delivery
+        n_packets=2,
+    )
+    codes = [v.code for v in auditor.violations]
+    assert codes == ["alloc.double_assignment", "alloc.duplicate_delivery"]
+    double = auditor.violations[0]
+    assert "CP1" in double.message and "CP2" in double.message
+    assert len(double.evidence) == 2  # both tx events, first assignee first
+    assert "CP1" in double.evidence[0] and "CP2" in double.evidence[1]
+
+
+def test_allocation_violations_demote_to_warnings_under_churn():
+    auditor = AllocationAuditor()
+    feed(
+        auditor,
+        ("media.tx", "CP1", dict(label=1, stream=0)),
+        ("peer.crash", "CP1", {}),
+        ("media.tx", "CP2", dict(label=1, stream=0)),  # legitimate re-flood
+        n_packets=1,
+    )
+    assert auditor.violations == []
+    assert [w.code for w in auditor.warnings] == ["alloc.double_assignment"]
+
+
+def test_tx_order_and_coverage_gap():
+    auditor = AllocationAuditor()
+    feed(
+        auditor,
+        ("media.tx", "CP1", dict(label=3, stream=0)),
+        ("media.tx", "CP1", dict(label=2, stream=0)),  # descending
+        n_packets=4,
+    )
+    codes = {v.code for v in auditor.violations}
+    assert "alloc.tx_order" in codes
+    gap = next(v for v in auditor.violations if v.code == "alloc.coverage_gap")
+    assert "1" in gap.message and "4" in gap.message
+
+
+# ----------------------------------------------------------------------
+# the other crafted-stream invariants
+# ----------------------------------------------------------------------
+def test_causal_auditor_flags_receives_without_sends():
+    auditor = CausalAuditor()
+    feed(
+        auditor,
+        ("msg.recv", "CP2", dict(src="leaf", kind="request")),  # never sent
+        ("msg.recv", "CP3", dict(src="CP9", kind="confirm")),   # unsolicited
+        finish=False,
+    )
+    codes = [v.code for v in auditor.violations]
+    assert "causal.recv_before_send" in codes
+    assert "causal.unsolicited_response" in codes
+    # a matched pair is clean and advances the vector clocks
+    clean = CausalAuditor()
+    feed(
+        clean,
+        ("msg.send", "leaf", dict(dst="CP2", kind="request")),
+        ("msg.recv", "CP2", dict(src="leaf", kind="request")),
+        finish=False,
+    )
+    assert clean.violations == []
+    assert clean.extra()["participants"] == 2
+
+
+def test_detector_auditor_false_confirm_and_latency_bound():
+    auditor = DetectorAuditor(latency_bound_ms=100.0)
+    feed(
+        auditor,
+        ("detector.confirm", "CP4", dict(latency=None)),  # CP4 is up
+        ("peer.crash", "CP5", {}),
+        ("detector.confirm", "CP5", dict(latency=250.0)),  # too slow
+        ("detector.suspect", "CP6", dict(false=True)),
+        finish=False,
+    )
+    codes = [v.code for v in auditor.violations]
+    assert codes == ["detector.false_confirm", "detector.latency_exceeded"]
+    slow = auditor.violations[1]
+    assert "peer.crash" in slow.evidence[0]
+    assert "detector.confirm" in slow.evidence[1]
+    assert [w.code for w in auditor.warnings] == ["detector.false_suspicion"]
+
+
+def test_parity_auditor_flags_phantom_recovery_and_alien_seq():
+    auditor = ParityAuditor()
+    feed(
+        auditor,
+        ("media.rx", "leaf", dict(label=1, src="CP1")),
+        ("media.rx", "leaf", dict(label=99, src="CP1")),     # out of range
+        ("fec.recover", "leaf", dict(seq=2)),                # unsupported
+        n_packets=4,
+    )
+    codes = [v.code for v in auditor.violations]
+    assert "parity.alien_seq" in codes
+    assert "parity.phantom_recovery" in codes
+
+
+# ----------------------------------------------------------------------
+# reports, replay, aggregation
+# ----------------------------------------------------------------------
+def test_audit_report_round_trips_and_detaches(tmp_path):
+    result = audited_spec("tcop").run()
+    report = result.audit
+    assert isinstance(report, AuditReport)
+    again = AuditReport.from_dict(report.to_dict())
+    assert again.passed == report.passed
+    assert again.summary() == report.summary()
+    path = tmp_path / "audit.json"
+    report.write(path)
+    assert json.loads(path.read_text())["type"] == "audit_report"
+    with pytest.raises(ValueError):
+        AuditReport.from_dict({"type": "something_else"})
+    # detach() (what sweep executors ship across processes) dict-ifies
+    detached = result.detach()
+    assert isinstance(detached.audit, dict)
+    assert detached.audit["passed"] is True
+
+
+def test_replay_jsonl_reproduces_the_live_verdict(tmp_path):
+    result = audited_spec("tcop").run()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(result.trace, path)
+    report = replay_jsonl(path)
+    assert report.passed
+    assert report.protocol == "replay"
+    # the replay consumed the live stream plus the wave.end events that
+    # finalize() synthesizes after the live auditors already finished
+    live_seen = result.audit.auditors["tree"]["events_seen"]
+    synthesized = len(result.trace.of_kind("wave.end"))
+    assert report.auditors["tree"]["events_seen"] == live_seen + synthesized
+
+
+def test_summarize_audits_folds_reports_and_dicts():
+    passing = audited_spec("tcop").run().audit
+    failing = AuditReport(
+        protocol="x", seed=0,
+        auditors={"tree": {
+            "passed": False, "events_seen": 1,
+            "violations": [{
+                "auditor": "tree", "code": "tree.cycle", "subject": "CP1",
+                "ts": 0.0, "message": "m", "evidence": [],
+            }],
+            "warnings": [],
+        }},
+    )
+    summary = summarize_audits([passing, failing.to_dict(), None])
+    assert summary["runs"] == 2
+    assert summary["passed"] == 1
+    assert summary["failed"] == 1
+    assert summary["violations_by_code"] == {"tree.cycle": 1}
+
+
+def test_audit_config_validates_names_and_custom_auditors_register():
+    with pytest.raises(ValueError):
+        AuditConfig(auditors=("tree", "nope"))
+    with pytest.raises(ValueError):
+        AuditConfig(auditors=())
+
+    @register_auditor("crash_counter_test")
+    class CrashCounter(Auditor):
+        name = "crash_counter_test"
+
+        def handle(self, event):
+            if event.kind == "peer.crash":
+                self.warning("crash_counter_test.seen", event.subject,
+                             "a peer crashed", evidence=[event])
+
+    try:
+        auditors = build_auditors(AuditConfig(auditors=("crash_counter_test",)))
+        assert [type(a) for a in auditors] == [CrashCounter]
+        with pytest.raises(ValueError):
+            register_auditor("crash_counter_test", CrashCounter)
+    finally:
+        from repro.obs import audit as audit_module
+
+        audit_module._AUDITORS.pop("crash_counter_test")
+
+
+def test_describe_event_is_compact_and_deterministic():
+    bus = TraceBus(TraceConfig(), Environment())
+    bus.emit("msg.send", "leaf", kind="request", dst="CP1")
+    line = describe_event(bus.events[0])
+    assert line == "[t=0.000] msg.send leaf dst='CP1' kind='request'"
+
+
+def test_violations_surface_as_bus_events_with_evidence():
+    auditor = AllocationAuditor()
+    bus = feed(
+        auditor,
+        ("media.tx", "CP1", dict(label=1, stream=0)),
+        ("media.tx", "CP2", dict(label=1, stream=0)),
+        n_packets=1,
+    )
+    (event,) = bus.of_kind("audit.violation")
+    payload = event.payload()
+    assert payload["code"] == "alloc.double_assignment"
+    assert payload["about"] == "CP2"
+    assert len(payload["evidence"]) == 2

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.metrics import SweepSeries
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, TraceConfig
+from repro.obs import (
+    Counter,
+    EmptyHistogramError,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceConfig,
+)
 from repro.core import ProtocolConfig, TCoP
 from repro.streaming import StreamingSession
 
@@ -38,6 +45,39 @@ def test_histogram_buckets_and_mean():
         Histogram("empty", [])
     with pytest.raises(ValueError):
         Histogram("unsorted", [2.0, 1.0])
+
+
+def test_histogram_percentile_reads_bucket_edges():
+    h = Histogram("gaps", [1.0, 2.0, 4.0])
+    for v in (0.5, 0.6, 1.5, 3.0):
+        h.observe(v)
+    assert h.percentile(50) == 1.0
+    assert h.percentile(75) == 2.0
+    assert h.percentile(100) == 4.0
+    # past-the-last-edge observations report the last finite edge
+    h.observe(99.0)
+    assert h.percentile(100) == 4.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_empty_histogram_refuses_percentile_but_summarizes():
+    h = Histogram("gaps", [1.0, 2.0])
+    with pytest.raises(EmptyHistogramError) as exc:
+        h.percentile(99)
+    # the error names the instrument and is an ordinary ValueError too,
+    # so existing broad handlers keep working
+    assert "gaps" in str(exc.value)
+    assert isinstance(exc.value, ValueError)
+    assert h.mean is None
+    assert h.summary() == {
+        "count": 0,
+        "mean": None,
+        "bounds": [1.0, 2.0],
+        "bucket_counts": [0, 0, 0],
+    }
 
 
 def test_registry_rejects_duplicate_names():

@@ -76,6 +76,51 @@ def test_in_flight_control_gauge_lifecycle():
     assert bus.in_flight_control == 1
 
 
+def test_subscribers_see_filtered_and_capped_events():
+    # storage filters bound memory; subscribers are streaming observers
+    # and must see the full firehose regardless
+    bus = TraceBus(
+        TraceConfig(categories=frozenset({"peer"}), max_events=1),
+        Environment(),
+    )
+    seen = []
+    bus.subscribe(lambda e: seen.append(e.kind))
+    bus.emit("msg.send", "p0", kind="control")  # category-filtered
+    bus.emit("peer.activate", "p0", round=1)    # stored
+    bus.emit("peer.activate", "p1", round=1)    # over the cap
+    assert [e.kind for e in bus.events] == ["peer.activate"]
+    assert seen == ["msg.send", "peer.activate", "peer.activate"]
+
+
+def test_unsubscribe_stops_delivery_and_tolerates_strangers():
+    bus = TraceBus(TraceConfig(), Environment())
+    seen = []
+    cb = seen.append
+    bus.subscribe(cb)
+    bus.emit("peer.activate", "p0", round=1)
+    bus.unsubscribe(cb)
+    bus.unsubscribe(cb)  # double unsubscribe is a no-op
+    bus.emit("peer.activate", "p1", round=1)
+    assert len(seen) == 1
+
+
+def test_subscriber_may_reenter_emit():
+    # auditors publish audit.* events from inside their callbacks; the
+    # dispatch snapshot must neither loop nor skip subscribers
+    bus = TraceBus(TraceConfig(), Environment())
+    seen = []
+
+    def echo(event: TraceEvent) -> None:
+        seen.append(event.kind)
+        if event.category != "audit":
+            bus.emit("audit.warning", "echo", about=event.subject)
+
+    bus.subscribe(echo)
+    bus.emit("peer.activate", "p0", round=1)
+    assert seen == ["peer.activate", "audit.warning"]
+    assert [e.kind for e in bus.events] == ["peer.activate", "audit.warning"]
+
+
 def test_wave_start_dedupes_rounds():
     bus = TraceBus(TraceConfig(), Environment())
     bus.wave_start(1, "leaf", targets=4)
