@@ -46,7 +46,10 @@ from repro.streaming import (
     DetectorPolicy,
     FaultPlan,
     LatencySpec,
+    LinkCut,
+    LinkFaultSpec,
     LossSpec,
+    PartitionPlan,
     ProtocolSpec,
     SessionResult,
     SessionSpec,
@@ -66,8 +69,11 @@ __all__ = [
     "FaultPlan",
     "RetransmitPolicy",
     "LatencySpec",
+    "LinkCut",
+    "LinkFaultSpec",
     "LossSpec",
     "MediaContent",
+    "PartitionPlan",
     "ProtocolConfig",
     "ProtocolSpec",
     "SessionResult",

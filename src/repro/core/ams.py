@@ -103,6 +103,11 @@ class AMSCoordination(CoordinationProtocol):
 
     def _on_request(self, agent: "ContentsPeerAgent", req: RequestMessage) -> None:
         agent.merge_view(req.view)
+        if "bcast" in agent.scratch:
+            # duplicate of the leaf's request (link fault or replay):
+            # the member is already exchanging state — re-applying would
+            # reset every vector clock and spawn a second state loop
+            return
         stream = agent.activate_with(req.assignment, hops=req.hops)
         session = agent.session
         states: Dict[str, _MemberState] = {

@@ -186,6 +186,13 @@ class TCoP(CoordinationProtocol):
     def _on_start(self, agent: "ContentsPeerAgent", ctl: ControlMessage) -> None:
         agent.merge_view(ctl.view)
         stream = agent.activate_with(ctl.assignment, hops=ctl.hops)
+        # idempotence under duplication/reordering: a second start (a
+        # reissued residual, or a duplicate that slipped past the wire
+        # dedup) adds its stream, but only one selection loop may offer
+        # on this peer's behalf — two would double-claim children
+        if agent.scratch.get("selecting"):
+            return
+        agent.scratch["selecting"] = True
         agent.env.process(self._selection_loop(agent, stream, ctl.hops))
 
     # ------------------------------------------------------------------
@@ -233,6 +240,12 @@ class TCoP(CoordinationProtocol):
     # ------------------------------------------------------------------
     def _selection_loop(self, agent: "ContentsPeerAgent", stream, base_hops: int):
         """Repeated offer→collect→start waves until the view is full."""
+        try:
+            yield from self._selection_rounds(agent, stream, base_hops)
+        finally:
+            agent.scratch["selecting"] = False
+
+    def _selection_rounds(self, agent: "ContentsPeerAgent", stream, base_hops: int):
         cfg = agent.session.config
         env = agent.env
         pending_map = agent.scratch.setdefault("pending", {})

@@ -43,6 +43,7 @@ from repro.experiments.ablations import (
     run_loss_recovery,
     run_multi_leaf,
     run_parity_sweep,
+    run_partition,
     run_protocol_comparison,
     run_rate_adaptation,
     run_receipt_capacity,
@@ -75,6 +76,7 @@ __all__ = [
     "run_loss_recovery",
     "run_multi_leaf",
     "run_parity_sweep",
+    "run_partition",
     "run_protocol_comparison",
     "run_rate_adaptation",
     "run_receipt_capacity",

@@ -25,6 +25,9 @@
   (HeteroDCoP) vs equal-split DCoP over uneven peers.
 * EX-L :func:`run_churn` — Poisson churn sweep with the full tolerance
   stack (failure detection, reliable control plane, re-coordination).
+* EX-M :func:`run_partition` — network partitions of varying duration and
+  component size: receipt ratio and split→re-coordination latency of DCoP
+  vs TCoP (partitioned peers are silent, not dead).
 
 Every entry point describes its runs as declarative
 :class:`~repro.streaming.spec.SessionSpec` values; the independent-cell
@@ -705,4 +708,132 @@ def run_churn(
             )
             row[f"{label}_retx"] = result.total_retransmissions
         series.add(rate, **row)
+    return series
+
+
+def _first_event_ts(result, kind: str) -> Optional[float]:
+    """Timestamp of the first ``kind`` trace event, live bus or detached."""
+    trace = result.trace
+    if trace is None:
+        return None
+    if hasattr(trace, "of_kind"):
+        events = trace.of_kind(kind)
+        return events[0].ts if events else None
+    events = [e for e in trace.get("events", ()) if e.get("kind") == kind]
+    return events[0]["ts"] if events else None
+
+
+def run_partition(
+    durations_deltas: Optional[Sequence[Optional[float]]] = None,
+    splits: Optional[Sequence[int]] = None,
+    n: int = 10,
+    H: int = 4,
+    content_packets: int = 150,
+    delta: float = 8.0,
+    split_at: float = 60.0,
+    seed: int = 13,
+    executor=None,
+) -> SweepSeries:
+    """EX-M: streaming through network partitions — DCoP vs TCoP.
+
+    Isolates the first ``k`` peers the leaf contacts (the worst case —
+    they carry the biggest shares) at ``split_at``, healing after the
+    given number of δ periods (``None`` = permanent split).  Partitioned
+    peers are *silent, not dead*: they keep transmitting into the cut
+    while the failure detector confirms them through silence and the
+    residual is re-flooded inside the reachable component.  Reports per
+    (protocol, split size) the receipt ratio and the split→re-flood
+    latency in δ units — ``None`` when the partition healed before the
+    detector committed to a re-coordination.  Every cell is an
+    independent spec, so ``executor`` fans the matrix out across cores.
+    """
+    from repro.net.overlay import RetransmitPolicy
+    from repro.obs import TraceConfig
+    from repro.streaming.detector import DetectorPolicy
+    from repro.streaming.faults import PartitionPlan
+
+    durations = (
+        list(durations_deltas)
+        if durations_deltas is not None
+        else [5.0, 15.0, None]
+    )
+    sizes = list(splits) if splits is not None else [1, 2]
+    labels = ["dcop", "tcop"]
+    series = SweepSeries(
+        "duration_deltas",
+        [
+            f"{label}_{metric}_k{k}"
+            for label in labels
+            for k in sizes
+            for metric in ("delivery", "recoord_deltas")
+        ],
+        title=(
+            f"EX-M — receipt ratio and re-coordination latency vs "
+            f"partition duration (n={n}, H={H}, split at t={split_at:g})"
+        ),
+    )
+
+    def spec_for(label, isolated, duration):
+        return SessionSpec(
+            config=ProtocolConfig(
+                n=n,
+                H=H,
+                fault_margin=1,
+                content_packets=content_packets,
+                delta=delta,
+                seed=seed,
+            ),
+            protocol=ProtocolSpec(label),
+            retransmit_policy=RetransmitPolicy(),
+            detector_policy=DetectorPolicy(),
+            trace=TraceConfig(),
+            partition_plan=PartitionPlan(
+                components=(tuple(isolated),),
+                at=split_at,
+                heal_at=(
+                    split_at + duration * delta
+                    if duration is not None
+                    else None
+                ),
+            ),
+        )
+
+    # same config + seed ⇒ same first picks for every cell
+    probe = SessionSpec(
+        config=ProtocolConfig(
+            n=n,
+            H=H,
+            fault_margin=1,
+            content_packets=content_packets,
+            delta=delta,
+            seed=seed,
+        ),
+        protocol=ProtocolSpec("dcop"),
+    ).build()
+    first = probe.leaf_select(H)
+
+    specs = [
+        spec_for(label, first[:k], duration)
+        for duration in durations
+        for label in labels
+        for k in sizes
+    ]
+    results = iter(run_specs(specs, executor=executor))
+    for duration in durations:
+        row = {}
+        for label in labels:
+            for k in sizes:
+                result = next(results)
+                reissue_at = _first_event_ts(result, "recoord.reissue")
+                row[f"{label}_delivery_k{k}"] = round(
+                    result.delivery_ratio, 4
+                )
+                row[f"{label}_recoord_deltas_k{k}"] = (
+                    round((reissue_at - split_at) / delta, 2)
+                    if reissue_at is not None
+                    else None
+                )
+        series.add(
+            duration if duration is not None else "permanent", **row
+        )
     return series

@@ -67,6 +67,36 @@ def _parse_model_spec(text: str):
     return name.strip(), params
 
 
+def _parse_partition(text: str):
+    """``P1+P2@AT`` or ``P1+P2@AT:HEAL`` → (groups, at, heal_at).
+
+    ``+`` joins the peers of one isolated component; ``/`` separates
+    several components (everyone unlisted stays with the leaf).  ``AT``
+    is the split time in ms; an optional ``:HEAL`` heals the partition.
+    Example: ``CP3+CP4@500:900``.
+    """
+    body, at_sep, when = text.partition("@")
+    if not at_sep or not body.strip() or not when:
+        raise ValueError(
+            f"bad partition {text!r} (expected PEERS@AT or PEERS@AT:HEAL, "
+            "e.g. CP3+CP4@500:900)"
+        )
+    groups = tuple(
+        tuple(peer.strip() for peer in group.split("+") if peer.strip())
+        for group in body.split("/")
+    )
+    at_raw, colon, heal_raw = when.partition(":")
+    try:
+        at = float(at_raw)
+        heal_at = float(heal_raw) if colon else None
+    except ValueError:
+        raise ValueError(
+            f"bad partition time in {text!r} (expected numbers, "
+            "e.g. CP3+CP4@500:900)"
+        ) from None
+    return groups, at, heal_at
+
+
 def _make_executor(args):
     """``--jobs N`` → a ParallelExecutor; default (or 1) stays serial."""
     if getattr(args, "jobs", None) and args.jobs > 1:
@@ -116,8 +146,10 @@ def _build_session_spec(args, audit=None):
     """
     from repro.core.base import ProtocolConfig
     from repro.obs import TraceConfig
+    from repro.streaming.faults import PartitionPlan
     from repro.streaming.spec import (
         LatencySpec,
+        LinkFaultSpec,
         LossSpec,
         ProtocolSpec,
         SessionSpec,
@@ -129,6 +161,7 @@ def _build_session_spec(args, audit=None):
         ("protocol", args.protocol),
         ("latency", args.latency),
         ("loss", args.loss),
+        ("link_fault", args.link_fault),
     ):
         if option is None:
             models[category] = None
@@ -145,6 +178,16 @@ def _build_session_spec(args, audit=None):
             )
         models[category] = (name, params)
 
+    partition_plan = None
+    if args.partition is not None:
+        try:
+            groups, at, heal_at = _parse_partition(args.partition)
+            partition_plan = PartitionPlan(
+                components=groups, at=at, heal_at=heal_at
+            )
+        except ValueError as exc:
+            return _fail(str(exc))
+
     config = ProtocolConfig(
         n=args.n,
         H=args.H,
@@ -158,6 +201,12 @@ def _build_session_spec(args, audit=None):
         protocol=ProtocolSpec(protocol_name, protocol_params),
         latency=LatencySpec(*models["latency"]) if models["latency"] else None,
         loss=LossSpec(*models["loss"]) if models["loss"] else None,
+        link_fault=(
+            LinkFaultSpec(*models["link_fault"])
+            if models["link_fault"]
+            else None
+        ),
+        partition_plan=partition_plan,
         trace=TraceConfig(),
         audit=audit,
     )
@@ -339,6 +388,23 @@ def main(argv: list[str] | None = None) -> int:
         "--loss",
         metavar="NAME[:k=v,...]",
         help="registered loss model, e.g. bernoulli:p=0.01",
+    )
+    trace_group.add_argument(
+        "--link-fault",
+        metavar="NAME[:k=v,...]",
+        help=(
+            "registered link fault applied to every channel, e.g. "
+            "chaos:dup_p=0.1,reorder_p=0.2,max_delay=20"
+        ),
+    )
+    trace_group.add_argument(
+        "--partition",
+        metavar="PEERS@AT[:HEAL]",
+        help=(
+            "partition the listed peers away from the leaf at time AT ms "
+            "(+ joins peers of one component, / separates components, "
+            ":HEAL heals), e.g. CP3+CP4@500:900"
+        ),
     )
     trace_group.add_argument("--n", type=int, default=24, help="contents peers")
     trace_group.add_argument("--H", type=int, default=6, help="fan-out")

@@ -64,6 +64,8 @@ class CausalBroadcaster:
         self._pending: List[CausalMessage] = []
         self.sent_count = 0
         self.delivered_count = 0
+        #: stale copies discarded on receipt (duplicated links, replays)
+        self.duplicates_discarded = 0
 
     # ------------------------------------------------------------------
     def broadcast(self, payload: Any) -> None:
@@ -88,7 +90,17 @@ class CausalBroadcaster:
 
     # ------------------------------------------------------------------
     def on_receive(self, message: CausalMessage) -> None:
-        """Feed one incoming cbcast; delivers everything now ready."""
+        """Feed one incoming cbcast; delivers everything now ready.
+
+        A copy whose sender component is already delivered is a
+        duplicate (a duplicating link, or a replay): it must be
+        discarded here, or it would sit in the pending buffer forever
+        and — were it ever merged — corrupt no clock but leak memory.
+        Idempotence costs one comparison.
+        """
+        if message.vc_counts.get(message.sender, 0) <= self.delivered[message.sender]:
+            self.duplicates_discarded += 1
+            return
         self._pending.append(message)
         self._drain()
 

@@ -18,6 +18,15 @@ kind, per-channel deliveries and drops).
 from repro.net.message import Message
 from repro.net.latency import ConstantLatency, LatencyModel, NormalLatency, UniformLatency
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.linkfault import (
+    CompositeFault,
+    DropFault,
+    DuplicateFault,
+    LinkFault,
+    ReorderFault,
+    SeverWindow,
+)
+from repro.net.dedup import DedupWindow
 from repro.net.channel import Channel, ChannelStats
 from repro.net.node import Node
 from repro.net.overlay import Overlay, TrafficStats
@@ -26,15 +35,22 @@ __all__ = [
     "BernoulliLoss",
     "Channel",
     "ChannelStats",
+    "CompositeFault",
     "ConstantLatency",
+    "DedupWindow",
+    "DropFault",
+    "DuplicateFault",
     "GilbertElliottLoss",
     "LatencyModel",
+    "LinkFault",
     "LossModel",
     "Message",
     "NoLoss",
     "Node",
     "NormalLatency",
     "Overlay",
+    "ReorderFault",
+    "SeverWindow",
     "TrafficStats",
     "UniformLatency",
 ]

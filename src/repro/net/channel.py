@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.linkfault import LinkFault
 from repro.net.loss import LossModel, NoLoss
 from repro.net.message import Message
 
@@ -25,6 +26,8 @@ class ChannelStats:
     dropped: int = 0
     bytes_sent: int = 0
     latencies_sum: float = 0.0
+    #: extra copies produced by a duplicating link fault
+    duplicated: int = 0
 
     @property
     def loss_ratio(self) -> float:
@@ -53,6 +56,7 @@ class Channel:
         loss: Optional[LossModel] = None,
         bandwidth_bytes_per_ms: Optional[float] = None,
         rng: Optional[np.random.Generator] = None,
+        fault: Optional[LinkFault] = None,
     ) -> None:
         if bandwidth_bytes_per_ms is not None and bandwidth_bytes_per_ms <= 0:
             raise ValueError("bandwidth must be positive when given")
@@ -61,6 +65,8 @@ class Channel:
         self.dst = dst
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.loss = loss if loss is not None else NoLoss()
+        #: optional link fault (duplicate/reorder/sever) on top of ``loss``
+        self.fault = fault
         self.bandwidth = bandwidth_bytes_per_ms
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = ChannelStats()
@@ -78,6 +84,14 @@ class Channel:
             self.stats.dropped += 1
             return
 
+        if self.fault is not None:
+            extra_delays = self.fault.apply(self.rng, now)
+            if not extra_delays:
+                self.stats.dropped += 1
+                return
+        else:
+            extra_delays = (0.0,)
+
         delay = self.latency.sample(self.rng)
         if delay < 0:  # pragma: no cover - models enforce this already
             raise ValueError("latency model produced a negative delay")
@@ -88,14 +102,17 @@ class Channel:
             self._link_free_at = start + serialization
             delay += (start - now) + serialization
 
-        def deliver():
-            yield self.env.timeout(delay)
+        self.stats.duplicated += len(extra_delays) - 1
+
+        def deliver(total_delay: float, duplicate: bool):
+            yield self.env.timeout(total_delay)
             message.delivered_at = self.env.now
             self.stats.delivered += 1
             self.stats.latencies_sum += message.delivered_at - message.sent_at
-            self.dst.deliver(message)
+            self.dst.deliver(message, duplicate=duplicate)
 
-        self.env.process(deliver())
+        for index, extra in enumerate(extra_delays):
+            self.env.process(deliver(delay + extra, index > 0))
 
     def __repr__(self) -> str:
         return f"<Channel {self.src.node_id}->{self.dst.node_id}>"

@@ -1,0 +1,165 @@
+"""Composable per-link fault injection: drop, duplicate, reorder, sever.
+
+The paper's channel model only loses messages (:mod:`repro.net.loss`).
+Real overlay links also *duplicate* (retransmitting middleboxes, route
+flaps), *reorder* (multi-path, queue jitter) and *sever* (partitions,
+one-way failures).  A :class:`LinkFault` generalizes the loss model into
+a per-send transformation: given the channel's RNG stream and the current
+simulation time it returns one **extra delay per delivered copy** —
+
+* ``()``           — the message is lost on this link,
+* ``(0.0,)``       — one copy, undisturbed (the no-fault outcome),
+* ``(0.0, 0.0)``   — the link duplicated the message,
+* ``(3.7,)``       — one copy, held back 3.7 ms (reordering jitter).
+
+Faults compose with :class:`CompositeFault`, which threads every copy
+produced by one stage through the next, summing delays — so a duplicated
+copy can itself be jittered or lost.  Whole-link cuts driven by a
+session-wide schedule (partitions, asymmetric failures) live on the
+overlay instead (:meth:`repro.net.overlay.Overlay.sever_link`); the
+time-windowed :class:`SeverWindow` covers scripted single-link cuts.
+
+All randomness comes from the channel's dedicated RNG stream, so equal
+seeds replay byte-identically; a channel without a fault draws exactly
+the same sequence as before this layer existed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.net.loss import LossModel
+
+__all__ = [
+    "CompositeFault",
+    "DropFault",
+    "DuplicateFault",
+    "LinkFault",
+    "ReorderFault",
+    "SeverWindow",
+]
+
+
+class LinkFault(ABC):
+    """One per-link failure process applied to every send."""
+
+    @abstractmethod
+    def apply(
+        self, rng: np.random.Generator, now: float
+    ) -> Tuple[float, ...]:
+        """Extra delay per delivered copy; empty tuple = message lost."""
+        raise NotImplementedError
+
+
+@dataclass
+class DropFault(LinkFault):
+    """Adapter: any :class:`~repro.net.loss.LossModel` as a link fault.
+
+    Lets a (stateful, e.g. Gilbert–Elliott) loss process participate in a
+    :class:`CompositeFault` pipeline alongside duplication and reordering.
+    """
+
+    loss: LossModel
+
+    def apply(self, rng, now):
+        return () if self.loss.drops(rng) else (0.0,)
+
+
+@dataclass
+class DuplicateFault(LinkFault):
+    """With probability ``p`` the link delivers ``copies`` copies."""
+
+    p: float
+    copies: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("duplication probability must be in [0, 1]")
+        if self.copies < 2:
+            raise ValueError("copies must be >= 2 (1 would be a no-op)")
+
+    def apply(self, rng, now):
+        if float(rng.random()) < self.p:
+            return (0.0,) * self.copies
+        return (0.0,)
+
+
+@dataclass
+class ReorderFault(LinkFault):
+    """With probability ``p`` a copy is held back up to ``max_delay`` ms.
+
+    Held-back messages overtake nothing themselves but are overtaken by
+    later sends, which is exactly how queue-jitter reordering looks to
+    the receiver.  ``max_delay`` bounds the jitter window (the issue's
+    "reorder within a 2δ window" uses ``max_delay = 2·δ``).
+    """
+
+    p: float
+    max_delay: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("reorder probability must be in [0, 1]")
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be positive")
+
+    def apply(self, rng, now):
+        draw = float(rng.random())
+        if draw < self.p:
+            return (float(rng.random()) * self.max_delay,)
+        return (0.0,)
+
+
+@dataclass
+class SeverWindow(LinkFault):
+    """The link delivers nothing during ``[at, until)`` — a scripted cut.
+
+    Deterministic (no RNG draws), so wrapping a channel with a sever
+    window perturbs no other random sequence.
+    """
+
+    at: float
+    until: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("sever window start must be >= 0")
+        if self.until <= self.at:
+            raise ValueError("sever window must end after it starts")
+
+    def apply(self, rng, now):
+        if self.at <= now < self.until:
+            return ()
+        return (0.0,)
+
+
+@dataclass
+class CompositeFault(LinkFault):
+    """Apply ``stages`` in order, threading every copy through each stage.
+
+    Stage delays add per copy; a stage that loses a copy removes it (and
+    everything a later stage would have derived from it).
+    """
+
+    stages: Tuple[LinkFault, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("composite fault needs at least one stage")
+        self.stages = tuple(self.stages)
+
+    def apply(self, rng, now):
+        copies: Tuple[float, ...] = (0.0,)
+        for stage in self.stages:
+            produced = []
+            for base in copies:
+                for extra in stage.apply(rng, now):
+                    produced.append(base + extra)
+            if not produced:
+                return ()
+            copies = tuple(produced)
+        return copies

@@ -24,6 +24,10 @@ class Message:
     #: set by the reliable control plane: receivers ack this id, and
     #: retransmitted copies reuse it so duplicates can be suppressed
     msg_id: Optional[int] = None
+    #: overlay-stamped wire id, unique per physical send; link-level
+    #: duplicates share it, so receivers can deduplicate unreliable
+    #: control traffic (``msg_id`` stays None without a control plane)
+    uid: Optional[int] = field(default=None, compare=False)
     #: stamped by the channel on send / delivery
     sent_at: float = field(default=-1.0, compare=False)
     delivered_at: float = field(default=-1.0, compare=False)

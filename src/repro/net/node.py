@@ -33,8 +33,13 @@ class Node:
         self.down = False
         self.dropped_while_down = 0
 
-    def deliver(self, message: Message) -> None:
-        """Called by a channel when a message arrives."""
+    def deliver(self, message: Message, duplicate: bool = False) -> None:
+        """Called by a channel when a message arrives.
+
+        ``duplicate`` marks link-fault copies beyond the first; the recv
+        trace carries the flag so auditors can exclude them from
+        send/recv conservation counts.
+        """
         tracer = self.env.tracer
         if self.down:
             self.dropped_while_down += 1
@@ -48,9 +53,16 @@ class Node:
                 )
             return
         if tracer is not None:
-            tracer.emit(
-                "msg.recv", self.node_id, kind=message.kind, src=message.src
-            )
+            if duplicate:
+                tracer.emit(
+                    "msg.recv", self.node_id, kind=message.kind,
+                    src=message.src, dup=1,
+                )
+            else:
+                tracer.emit(
+                    "msg.recv", self.node_id, kind=message.kind,
+                    src=message.src,
+                )
         if self.on_deliver is not None:
             self.on_deliver(message)
         else:

@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.net.channel import Channel
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.linkfault import LinkFault
 from repro.net.loss import LossModel, NoLoss
 from repro.net.message import Message
 from repro.net.node import Node
@@ -34,6 +35,11 @@ class TrafficStats:
     give_ups_by_kind: Counter = field(default_factory=Counter)
     #: duplicate reliable deliveries suppressed at the receiver
     duplicates_suppressed_by_kind: Counter = field(default_factory=Counter)
+    #: extra copies produced by duplicating link faults (each copy also
+    #: arrives at the destination and must be deduplicated there)
+    duplicated_by_kind: Counter = field(default_factory=Counter)
+    #: link-fault duplicates suppressed by the agents' uid dedup windows
+    link_dupes_suppressed_by_kind: Counter = field(default_factory=Counter)
     #: (kind, time) log of sends for round analysis; cheap append-only list
     send_log: list = field(default_factory=list)
 
@@ -196,6 +202,7 @@ class Overlay:
         bandwidth_bytes_per_ms: Optional[float] = None,
         latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
         control_loss_factory: Optional[Callable[[], LossModel]] = None,
+        link_fault_factory: Optional[Callable[[], LinkFault]] = None,
     ) -> None:
         self.env = env
         self.streams = streams if streams is not None else RandomStreams(0)
@@ -210,6 +217,9 @@ class Overlay:
         #: stateful model per directed pair — lets experiments stress the
         #: coordination plane while the data plane stays clean
         self.control_loss_factory = control_loss_factory
+        #: when given, called once per (src, dst) pair at channel creation
+        #: so every channel gets a *fresh* (stateful) fault instance
+        self.link_fault_factory = link_fault_factory
         self.bandwidth = bandwidth_bytes_per_ms
         self.nodes: Dict[str, Node] = {}
         self.channels: Dict[Tuple[str, str], Channel] = {}
@@ -217,6 +227,10 @@ class Overlay:
         #: optional per-pair overrides installed with configure_channel()
         self._overrides: Dict[Tuple[str, str], dict] = {}
         self._control_loss: Dict[Tuple[str, str], LossModel] = {}
+        #: directed links currently cut (partitions, one-way failures)
+        self._severed: set[Tuple[str, str]] = set()
+        #: wire ids: one per physical send, shared by link-level duplicates
+        self._uids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # topology
@@ -238,6 +252,7 @@ class Overlay:
         latency: Optional[LatencyModel] = None,
         loss: Optional[LossModel] = None,
         bandwidth_bytes_per_ms: Optional[float] = None,
+        fault: Optional[LinkFault] = None,
     ) -> None:
         """Install per-pair channel parameters (before first use)."""
         if (src, dst) in self.channels:
@@ -246,6 +261,7 @@ class Overlay:
             "latency": latency,
             "loss": loss,
             "bandwidth": bandwidth_bytes_per_ms,
+            "fault": fault,
         }
 
     def channel(self, src: str, dst: str) -> Channel:
@@ -261,6 +277,9 @@ class Overlay:
                 if self.latency_factory is not None
                 else self.default_latency
             )
+            fault = override.get("fault")
+            if fault is None and self.link_fault_factory is not None:
+                fault = self.link_fault_factory()
             ch = Channel(
                 self.env,
                 self.nodes[src],
@@ -269,9 +288,37 @@ class Overlay:
                 loss=override.get("loss") or self.default_loss_factory(),
                 bandwidth_bytes_per_ms=override.get("bandwidth") or self.bandwidth,
                 rng=self.streams.get(f"channel/{src}->{dst}"),
+                fault=fault,
             )
             self.channels[key] = ch
         return ch
+
+    # ------------------------------------------------------------------
+    # link cuts (partitions, asymmetric failures)
+    # ------------------------------------------------------------------
+    def sever_link(self, src: str, dst: str) -> None:
+        """Cut the directed link ``src → dst``: nothing gets through.
+
+        All traffic is affected — media, control *and* acks — so a
+        reliable sender behind a cut exhausts its retry budget and the
+        failure detector learns about the partition the honest way.
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown endpoint in {src}->{dst}")
+        if (src, dst) not in self._severed:
+            self._severed.add((src, dst))
+            if self.env.tracer is not None:
+                self.env.tracer.emit("link.sever", src, dst=dst)
+
+    def heal_link(self, src: str, dst: str) -> None:
+        """Restore a previously severed directed link (no-op if intact)."""
+        if (src, dst) in self._severed:
+            self._severed.discard((src, dst))
+            if self.env.tracer is not None:
+                self.env.tracer.emit("link.heal", src, dst=dst)
+
+    def link_severed(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._severed
 
     # ------------------------------------------------------------------
     # traffic
@@ -312,12 +359,19 @@ class Overlay:
             return msg
         msg = Message(
             src=src, dst=dst, kind=kind, body=body,
-            size_bytes=size_bytes, msg_id=msg_id,
+            size_bytes=size_bytes, msg_id=msg_id, uid=next(self._uids),
         )
         self.traffic.sent_by_kind[kind] += 1
         self.traffic.send_log.append((kind, self.env.now, src, dst))
         if tracer is not None:
             tracer.emit("msg.send", src, dst=dst, kind=kind)
+        if (src, dst) in self._severed:
+            self.traffic.dropped_by_kind[kind] += 1
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind=kind, reason="link_severed"
+                )
+            return msg
         if kind != "packet" and self._control_drops(src, dst):
             self.traffic.dropped_by_kind[kind] += 1
             if tracer is not None:
@@ -327,6 +381,7 @@ class Overlay:
             return msg
         ch = self.channel(src, dst)
         before_drop = ch.stats.dropped
+        before_dup = ch.stats.duplicated
         ch.send(msg)
         if ch.stats.dropped > before_drop:
             self.traffic.dropped_by_kind[kind] += 1
@@ -336,6 +391,14 @@ class Overlay:
                 )
         else:
             self.traffic.delivered_by_kind[kind] += 1
+            extra_copies = ch.stats.duplicated - before_dup
+            if extra_copies:
+                self.traffic.duplicated_by_kind[kind] += extra_copies
+                if tracer is not None:
+                    tracer.emit(
+                        "link.duplicate", src, dst=dst, kind=kind,
+                        copies=extra_copies + 1,
+                    )
         return msg
 
     def __repr__(self) -> str:

@@ -24,6 +24,7 @@ from repro.obs.audit import (
     Auditor,
     CausalAuditor,
     DetectorAuditor,
+    DuplicateEffectAuditor,
     ParityAuditor,
     TreeAuditor,
     Violation,
@@ -60,6 +61,7 @@ __all__ = [
     "CausalAuditor",
     "Counter",
     "DetectorAuditor",
+    "DuplicateEffectAuditor",
     "EmptyHistogramError",
     "Gauge",
     "Histogram",

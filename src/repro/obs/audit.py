@@ -82,6 +82,7 @@ __all__ = [
     "Auditor",
     "CausalAuditor",
     "DetectorAuditor",
+    "DuplicateEffectAuditor",
     "ParityAuditor",
     "TreeAuditor",
     "Violation",
@@ -427,6 +428,8 @@ class AllocationAuditor(Auditor):
             session.spec.repair_policy is not None
             or session.spec.churn_plan is not None
             or session.spec.fault_plan is not None
+            or session.spec.link_fault is not None
+            or session.spec.partition_plan is not None
             or session.recoordinator is not None
         ):
             self._relaxed = True
@@ -441,7 +444,13 @@ class AllocationAuditor(Auditor):
         elif kind == "peer.crash":
             self._crash_seen = True
             self._relaxed = True
-        elif kind in ("recoord.reissue", "detector.confirm"):
+        elif kind in (
+            "recoord.reissue",
+            "detector.confirm",
+            "link.duplicate",
+            "link.sever",
+            "partition.split",
+        ):
             self._relaxed = True
         elif kind == "msg.send" and event.payload().get("kind") == "repair":
             self._relaxed = True
@@ -658,6 +667,11 @@ class CausalAuditor(Auditor):
     def handle(self, event: TraceEvent) -> None:
         payload = event.payload()
         kind = payload.get("kind")
+        if event.kind == "msg.send" and kind is not None and kind != "packet":
+            # *any* non-media send may be reliable and thus solicit an
+            # ack — including kinds outside CONTROL_KINDS ("state",
+            # "cbcast" group exchanges) — so ack pairing tracks them all
+            self._control_pairs.add((event.subject, payload.get("dst")))
         if kind not in CONTROL_KINDS:
             return
         if event.kind == "msg.send":
@@ -670,6 +684,11 @@ class CausalAuditor(Auditor):
                 self._offered.add((src, dst))
             self._control_pairs.add((src, dst))
         elif event.kind == "msg.recv":
+            if payload.get("dup"):
+                # a link fault copied the message in flight: the extra
+                # copy has a causally prior send (the original's), so it
+                # must not count against send/recv conservation
+                return
             dst, src = event.subject, payload.get("src")
             key = (src, dst, kind)
             self._recvs[key] = self._recvs.get(key, 0) + 1
@@ -716,7 +735,11 @@ class DetectorAuditor(Auditor):
     ``detector.confirm`` against a peer that is up is a violation (false
     suspicions are allowed — they are the price of an asynchronous
     detector — and surface as warnings), and a reported detection
-    latency beyond the bound is a violation.  The default bound is
+    latency beyond the bound is a violation.  A confirm against a peer
+    whose link to the leaf is severed (``link.sever`` without a matching
+    ``link.heal``) is excused: a partitioned peer is indistinguishable
+    from a crashed one to any asynchronous detector, so confirming it is
+    the *correct* answer, not a false positive.  The default bound is
     ``(confirm_misses + 2) · period + 2δ`` from the live session's
     policy; :attr:`AuditConfig.detection_latency_bound_ms` overrides.
     """
@@ -728,6 +751,9 @@ class DetectorAuditor(Auditor):
         self.latency_bound_ms = latency_bound_ms
         self._down: Dict[str, TraceEvent] = {}
         self._confirms = 0
+        #: directed links currently severed, as (src, dst) pairs
+        self._cut: set = set()
+        self._partition_excused = 0
 
     def bind(self, bus=None, session=None, leaf_id=None, n_packets=None):
         super().bind(bus, session, leaf_id=leaf_id, n_packets=n_packets)
@@ -748,6 +774,10 @@ class DetectorAuditor(Auditor):
             self._down[event.subject] = event
         elif event.kind == "peer.rejoin":
             self._down.pop(event.subject, None)
+        elif event.kind == "link.sever":
+            self._cut.add((event.subject, event.payload().get("dst")))
+        elif event.kind == "link.heal":
+            self._cut.discard((event.subject, event.payload().get("dst")))
         elif event.kind == "detector.suspect":
             if event.payload().get("false"):
                 self.warning(
@@ -760,6 +790,12 @@ class DetectorAuditor(Auditor):
             self._confirms += 1
             pid = event.subject
             if pid not in self._down:
+                # the mesh is direct links, so the peer is unreachable
+                # from the leaf iff one direction of their link is cut
+                leaf = self.leaf_id
+                if (pid, leaf) in self._cut or (leaf, pid) in self._cut:
+                    self._partition_excused += 1
+                    return
                 self.violation(
                     "detector.false_confirm",
                     pid,
@@ -780,14 +816,102 @@ class DetectorAuditor(Auditor):
                 )
 
     def extra(self) -> Dict[str, Any]:
-        return {"confirms_checked": self._confirms}
+        return {
+            "confirms_checked": self._confirms,
+            "partition_excused": self._partition_excused,
+        }
+
+
+@register_auditor("duplicate_effect")
+class DuplicateEffectAuditor(Auditor):
+    """Idempotence of the coordination planes under duplicating links.
+
+    Agents emit ``ctrl.apply`` just before acting on a non-packet
+    message; every physical copy carries a wire ``uid`` (shared by
+    link-level duplicates of one send) and reliable control carries a
+    session-unique ``msg_id`` (shared by retransmissions).  One logical
+    control message may change receiver state at most once, so a second
+    ``ctrl.apply`` at the same receiver for the same ``uid`` — or the
+    same ``msg_id`` — means a duplicate slipped past every dedup layer
+    and was applied twice.  ``msg.dedup`` events count the suppressions
+    that *did* work.
+    """
+
+    name = "duplicate_effect"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (receiver, uid) -> first apply event
+        self._by_uid: Dict[Tuple[str, int], TraceEvent] = {}
+        #: (receiver, msg_id) -> first apply event
+        self._by_mid: Dict[Tuple[str, int], TraceEvent] = {}
+        self._applied = 0
+        self._suppressed = 0
+
+    def handle(self, event: TraceEvent) -> None:
+        if event.kind == "msg.dedup":
+            self._suppressed += 1
+            return
+        if event.kind != "ctrl.apply":
+            return
+        self._applied += 1
+        payload = event.payload()
+        receiver = event.subject
+        kind = payload.get("kind")
+        uid = payload.get("uid")
+        if uid is not None:
+            key = (receiver, uid)
+            prior = self._by_uid.get(key)
+            if prior is None:
+                self._by_uid[key] = event
+            else:
+                self.violation(
+                    "dup.uid_applied_twice",
+                    receiver,
+                    f"{receiver} applied {kind!r} from "
+                    f"{payload.get('src')!r} twice for one wire uid "
+                    f"{uid} — a link-level duplicate changed state twice",
+                    evidence=[prior, event],
+                )
+        mid = payload.get("mid")
+        if mid is not None:
+            key = (receiver, mid)
+            prior = self._by_mid.get(key)
+            if prior is None:
+                self._by_mid[key] = event
+            elif prior.payload().get("uid") != uid:
+                # same uid was already reported above; a distinct uid
+                # with the same msg_id is a retransmission that escaped
+                # the control plane's duplicate suppression
+                self.violation(
+                    "dup.retransmit_applied_twice",
+                    receiver,
+                    f"{receiver} applied {kind!r} from "
+                    f"{payload.get('src')!r} twice for one control "
+                    f"msg_id {mid} — a retransmission escaped duplicate "
+                    "suppression and changed state twice",
+                    evidence=[prior, event],
+                )
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "applies_checked": self._applied,
+            "duplicates_suppressed": self._suppressed,
+        }
 
 
 # ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
 #: the full built-in suite, in execution order
-DEFAULT_AUDITORS = ("tree", "allocation", "parity", "causal", "detector")
+DEFAULT_AUDITORS = (
+    "tree",
+    "allocation",
+    "parity",
+    "causal",
+    "detector",
+    "duplicate_effect",
+)
 
 
 @dataclass(frozen=True)

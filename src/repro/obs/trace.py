@@ -19,14 +19,21 @@ category   kinds
 ========== =====================================================
 ``msg``    ``msg.send`` ``msg.recv`` ``msg.drop``
            ``msg.retransmit`` ``msg.give_up``
+           ``msg.dedup`` (agent suppressed a link-fault duplicate)
 ``peer``   ``peer.activate`` ``peer.crash`` ``peer.rejoin``
            ``peer.stream_start``
 ``wave``   ``wave.start`` ``wave.end`` (flooding-wave δ-rounds)
 ``detector`` ``detector.suspect`` ``detector.confirm``
 ``buffer`` ``buffer.underrun`` ``buffer.overrun``
+           ``buffer.skip`` (playback gave a stalled packet up)
 ``recoord`` ``recoord.reissue``
 ``media``  ``media.tx`` ``media.rx`` (per-packet stream plane)
 ``fec``    ``fec.recover`` (parity reconstruction of a lost packet)
+``link``   ``link.sever`` ``link.heal`` (directed link cuts)
+           ``link.duplicate`` (a fault delivered extra copies)
+``partition`` ``partition.split`` ``partition.heal``
+``ctrl``   ``ctrl.apply`` (a control message actually changed state —
+           the duplicate-effect audit's evidence stream)
 ``audit``  ``audit.violation`` ``audit.warning`` (auditor verdicts)
 ========== =====================================================
 
@@ -59,7 +66,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: drop reasons that terminate an in-flight message (a ``sender_down``
 #: drop never entered a channel, so it does not decrement the gauge)
-_IN_FLIGHT_DROPS = frozenset({"control_loss", "channel_loss", "dst_down"})
+_IN_FLIGHT_DROPS = frozenset(
+    {"control_loss", "channel_loss", "dst_down", "link_severed"}
+)
 
 #: message kinds that belong to the coordination plane (not media)
 CONTROL_KINDS: FrozenSet[str] = frozenset(
@@ -180,7 +189,13 @@ class TraceBus:
             elif self.registry is not None:
                 self.registry.inc("media_sends")
         elif kind == "msg.recv":
-            if data.get("kind") in CONTROL_KINDS and self.in_flight_control > 0:
+            # link-fault duplicates (dup=1) were never counted as sends,
+            # so only the first copy settles the in-flight balance
+            if (
+                data.get("kind") in CONTROL_KINDS
+                and not data.get("dup")
+                and self.in_flight_control > 0
+            ):
                 self.in_flight_control -= 1
         elif kind == "msg.drop":
             if (

@@ -16,7 +16,8 @@
   :class:`SessionResult`.  Keyword construction is deprecated; use
   :meth:`StreamingSession.from_spec`.
 * :mod:`repro.streaming.faults` — crash / rate-degradation / churn
-  injection.
+  injection, plus network partitions and one-way link cuts
+  (:class:`PartitionPlan`, :class:`LinkCut`).
 * :mod:`repro.streaming.detector` — leaf-side heartbeat failure detector.
 * :mod:`repro.streaming.recoordination` — mid-stream residual re-flooding.
 """
@@ -28,11 +29,13 @@ from repro.streaming.leaf_peer import LeafPeerAgent
 from repro.streaming.session import SessionResult, StreamingSession
 from repro.streaming.spec import (
     LatencySpec,
+    LinkFaultSpec,
     LossSpec,
     ProtocolSpec,
     SessionSpec,
     available_factories,
     register_latency,
+    register_link_fault,
     register_loss,
     register_protocol,
 )
@@ -42,6 +45,9 @@ from repro.streaming.faults import (
     CrashFault,
     DegradeFault,
     FaultPlan,
+    LinkCut,
+    PartitionEvent,
+    PartitionPlan,
 )
 from repro.streaming.detector import DetectorPolicy, FailureDetector, Heartbeat
 from repro.streaming.recoordination import HandoffRecord, ReCoordinator
@@ -70,7 +76,11 @@ __all__ = [
     "Heartbeat",
     "LatencySpec",
     "LeafPeerAgent",
+    "LinkCut",
+    "LinkFaultSpec",
     "LossSpec",
+    "PartitionEvent",
+    "PartitionPlan",
     "Phase",
     "PlaybackBuffer",
     "ProtocolSpec",
@@ -84,6 +94,7 @@ __all__ = [
     "StreamingSession",
     "available_factories",
     "register_latency",
+    "register_link_fault",
     "register_loss",
     "register_protocol",
 ]

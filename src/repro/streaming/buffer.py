@@ -33,19 +33,32 @@ class PlaybackBuffer:
     packet period and returns the played seq or records an underrun.
     """
 
-    def __init__(self, n_packets: int, capacity: float = float("inf")) -> None:
+    def __init__(
+        self,
+        n_packets: int,
+        capacity: float = float("inf"),
+        skip_after_misses: int = 4,
+    ) -> None:
         if n_packets < 1:
             raise ValueError("n_packets must be positive")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if skip_after_misses < 1:
+            raise ValueError("skip_after_misses must be >= 1")
         self.n_packets = n_packets
         self.capacity = capacity
+        #: consecutive underruns on one packet before playback gives it
+        #: up (:meth:`skip`) and moves on — the degrade-don't-deadlock
+        #: policy that keeps a partitioned leaf playing
+        self.skip_after_misses = skip_after_misses
         self._held: set[int] = set()
         self._next = 1
+        self._misses = 0
         self.events: list[BufferEvent] = []
         self.played = 0
         self.overruns = 0
         self.underruns = 0
+        self.skips = 0
 
     # ------------------------------------------------------------------
     @property
@@ -90,15 +103,25 @@ class PlaybackBuffer:
             played = self._next
             self._next += 1
             self.played += 1
+            self._misses = 0
             return played
         self.underruns += 1
         self.events.append(BufferEvent("underrun", time, self._next))
+        self._misses += 1
         return None
+
+    @property
+    def should_skip(self) -> bool:
+        """The skip policy's verdict: the current packet has stalled
+        playback for ``skip_after_misses`` consecutive periods."""
+        return self._misses >= self.skip_after_misses
 
     def skip(self) -> int:
         """Give up on the next packet (playback gap) and move on."""
         skipped = self._next
         self._next += 1
+        self._misses = 0
+        self.skips += 1
         return skipped
 
     def __repr__(self) -> str:

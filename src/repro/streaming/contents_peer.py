@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.base import Assignment
+from repro.net.dedup import DedupWindow
 from repro.net.message import Message
 from repro.streaming.stream import Stream
 
@@ -43,6 +44,11 @@ class ContentsPeerAgent:
         self._phase_rng = session.streams.get(f"phase/{peer_id}")
         #: uplink capacity in packets/ms; None = unlimited (§5 hetero env)
         self.capacity = session.peer_capacities.get(peer_id)
+        #: duplicate-suppression for control traffic keyed on the wire
+        #: uid (link duplicates share it; retransmissions do not — those
+        #: are deduplicated by ``msg_id`` in the control plane), so a
+        #: duplicated request/control/start/repair is applied exactly once
+        self.dedup = DedupWindow()
         #: bumped on rejoin so loops started before a crash stay dead
         self._epoch = 0
         self._heartbeat_running = False
@@ -67,6 +73,16 @@ class ContentsPeerAgent:
             return  # pragma: no cover
         if self.session.intercept_control(message):
             return  # ack, or duplicate of a retransmitted control message
+        if message.kind != "packet":
+            if message.uid is not None and self.dedup.seen(message.uid):
+                # link-fault duplicate of an already-applied physical
+                # send: suppress before it double-assigns a subsequence
+                # or double-serves a repair
+                self.session.note_duplicate_suppressed(
+                    self.peer_id, message
+                )
+                return
+            self.session.note_control_applied(self.peer_id, message)
         if message.kind == "repair":
             # repair is protocol-agnostic (see repro.streaming.repair)
             from repro.streaming.repair import serve_repair

@@ -1,4 +1,4 @@
-"""Fault injection: peer crashes, rate degradation, and churn.
+"""Fault injection: crashes, degradation, churn, partitions, link cuts.
 
 §1 motivates the MSS model with "even if some peer stops by fault and is
 degraded in performance … a requesting leaf peer receives every data of a
@@ -8,12 +8,22 @@ be tested and benchmarked; a :class:`ChurnPlan` drives *ongoing* membership
 dynamics — Poisson departures, optional crash-recover/rejoin, and
 correlated crash storms — for stress-testing the failure detector and
 mid-stream re-coordination.
+
+A :class:`PartitionPlan` covers the failures churn cannot express: it
+splits the overlay into components at time ``t`` (every directed link
+crossing a component boundary is severed, acks included) and heals the
+split at ``t'``; scripted :class:`LinkCut` entries model *asymmetric*
+one-way failures.  Partitioned peers are not crashed — they keep
+transmitting into their severed links (those sends are counted as honest
+drops), the leaf's failure detector suspects and then confirms them
+through silence, and after the heal their first heartbeat to reach the
+leaf resumes monitoring (:meth:`~repro.streaming.detector.FailureDetector.touch`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.session import StreamingSession
@@ -62,6 +72,38 @@ class FaultPlan:
         self.degradations.append(DegradeFault(peer_id, at, factor))
         return self
 
+    def validate(self) -> None:
+        """Plan-level consistency checks, independent of any session.
+
+        :class:`DegradeFault` bounds its own fields, but only per fault —
+        the plan as a whole must also reject a degrade factor above 1
+        (a "degradation" that speeds a peer up is a spec typo) and two
+        faults of the same kind scheduled against one peer at the same
+        instant (the duplicate would silently double-apply).
+        """
+        for fault in self.degradations:
+            if fault.factor > 1.0:
+                raise ValueError(
+                    f"degrade factor {fault.factor} for {fault.peer_id!r} "
+                    "is > 1 — a degradation must slow the peer down "
+                    "(0 < factor <= 1)"
+                )
+        seen: set = set()
+        for kind, faults in (
+            ("crash", self.crashes),
+            ("degrade", self.degradations),
+        ):
+            for fault in faults:
+                key = (kind, fault.peer_id, fault.at)
+                if key in seen:
+                    raise ValueError(
+                        f"duplicate {kind} fault scheduled for "
+                        f"{fault.peer_id!r} at t={fault.at} — each "
+                        "(peer, time) pair may carry at most one fault "
+                        "of a kind"
+                    )
+                seen.add(key)
+
     def install(self, session: "StreamingSession") -> None:
         """Schedule every fault as a simulation process.
 
@@ -69,6 +111,7 @@ class FaultPlan:
         a typo'd ``peer_id`` fails here, at install time, instead of as a
         ``KeyError`` deep inside the event loop when the fault fires.
         """
+        self.validate()
         known = set(session.peers)
         for fault in [*self.crashes, *self.degradations]:
             if fault.peer_id not in known:
@@ -250,3 +293,183 @@ class ChurnPlan:
         session.faults_fired.append(
             ChurnEvent("rejoin", victim, session.env.now)
         )
+
+
+# ----------------------------------------------------------------------
+# partitions and asymmetric link failures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkCut:
+    """One directed link cut: ``src → dst`` delivers nothing in
+    ``[at, until)`` (``until=None`` = the cut never heals).
+
+    A single :class:`LinkCut` is the *asymmetric* failure: the reverse
+    direction stays up, so e.g. a peer can still hear the leaf's repair
+    requests while its answers silently vanish.
+    """
+
+    src: str
+    dst: str
+    at: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("a link cut needs two distinct endpoints")
+        if self.at < 0:
+            raise ValueError("cut time must be non-negative")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("cut must heal after it starts")
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """One partition split/heal that actually fired (for logs)."""
+
+    kind: str  #: "split" or "heal"
+    at: float
+    #: peers on the far side of the split from the leaf
+    isolated: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Split the overlay into components at ``at``; heal at ``heal_at``.
+
+    ``components`` lists the groups cut away from the rest of the
+    overlay; the leaf plus every unlisted peer form the implicit
+    leaf-side component.  At ``at`` every directed link whose endpoints
+    sit in different components is severed (media, control *and* acks —
+    reliable senders exhaust their retries honestly); at ``heal_at``
+    exactly those links are restored.  ``cuts`` adds scripted one-way
+    :class:`LinkCut` failures on top, on their own schedules.
+
+    Both fields are optional-ish: a plan may be pure cuts
+    (``components=()``) or a pure split (``cuts=()``), but not empty.
+    Deterministic — no RNG draws, so installing a plan perturbs no other
+    random sequence.
+    """
+
+    components: Tuple[Tuple[str, ...], ...] = ()
+    at: float = 0.0
+    heal_at: Optional[float] = None
+    cuts: Tuple[LinkCut, ...] = ()
+
+    def __post_init__(self) -> None:
+        # normalize: accept lists of lists from call sites
+        object.__setattr__(
+            self,
+            "components",
+            tuple(tuple(group) for group in self.components),
+        )
+        object.__setattr__(self, "cuts", tuple(self.cuts))
+        if not self.components and not self.cuts:
+            raise ValueError(
+                "an empty partition plan does nothing — give it "
+                "components to split off or link cuts to schedule"
+            )
+        if self.at < 0:
+            raise ValueError("partition time must be non-negative")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("partition must heal after it splits")
+        seen: set = set()
+        for group in self.components:
+            if not group:
+                raise ValueError("partition components must be non-empty")
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(
+                        f"peer {pid!r} appears in two partition "
+                        "components — components must be disjoint"
+                    )
+                seen.add(pid)
+
+    # ------------------------------------------------------------------
+    @property
+    def isolated_peers(self) -> Tuple[str, ...]:
+        """Every peer cut away from the leaf-side component."""
+        return tuple(pid for group in self.components for pid in group)
+
+    def install(self, session: "StreamingSession") -> None:
+        """Validate endpoints and schedule the split/heal/cut processes."""
+        known = set(session.peers) | {session.leaf.peer_id}
+        for pid in self.isolated_peers:
+            if pid not in known:
+                raise ValueError(
+                    f"partition component names unknown peer {pid!r}"
+                )
+        if session.leaf.peer_id in self.isolated_peers:
+            raise ValueError(
+                "the leaf always sits in the implicit component; list "
+                "only the peers to cut away from it"
+            )
+        for cut in self.cuts:
+            for endpoint in (cut.src, cut.dst):
+                if endpoint not in known:
+                    raise ValueError(
+                        f"link cut names unknown endpoint {endpoint!r}"
+                    )
+        if self.components:
+            session.env.process(self._run_split(session))
+        for cut in self.cuts:
+            session.env.process(self._run_cut(session, cut))
+
+    # ------------------------------------------------------------------
+    def _boundary_links(self, session: "StreamingSession"):
+        """Every directed link crossing a component boundary."""
+        component_of = {
+            pid: idx
+            for idx, group in enumerate(self.components)
+            for pid in group
+        }
+        nodes = [session.leaf.peer_id, *session.peer_ids]
+        links = []
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                if component_of.get(a, -1) != component_of.get(b, -1):
+                    links.append((a, b))
+        return links
+
+    def _run_split(self, session: "StreamingSession"):
+        yield session.env.timeout(self.at)
+        overlay = session.overlay
+        links = self._boundary_links(session)
+        for src, dst in links:
+            overlay.sever_link(src, dst)
+        isolated = self.isolated_peers
+        if session.env.tracer is not None:
+            session.env.tracer.emit(
+                "partition.split",
+                "overlay",
+                components=len(self.components) + 1,
+                isolated=",".join(isolated),
+                heal_at=self.heal_at,
+            )
+        session.faults_fired.append(
+            PartitionEvent("split", session.env.now, isolated)
+        )
+        if self.heal_at is None:
+            return
+        yield session.env.timeout(self.heal_at - self.at)
+        for src, dst in links:
+            overlay.heal_link(src, dst)
+        if session.env.tracer is not None:
+            session.env.tracer.emit(
+                "partition.heal",
+                "overlay",
+                isolated=",".join(isolated),
+            )
+        session.faults_fired.append(
+            PartitionEvent("heal", session.env.now, isolated)
+        )
+
+    @staticmethod
+    def _run_cut(session: "StreamingSession", cut: LinkCut):
+        yield session.env.timeout(cut.at)
+        session.overlay.sever_link(cut.src, cut.dst)
+        if cut.until is None:
+            return
+        yield session.env.timeout(cut.until - cut.at)
+        session.overlay.heal_link(cut.src, cut.dst)

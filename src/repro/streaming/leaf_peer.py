@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.fec import ParityDecoder
+from repro.net.dedup import DedupWindow
 from repro.net.message import Message
 from repro.streaming.buffer import PlaybackBuffer
 
@@ -30,6 +31,7 @@ class LeafPeerAgent:
         playback_delay: Optional[float] = None,
         max_receipt_rate: Optional[float] = None,
         receive_buffer_packets: float = 64.0,
+        skip_after_misses: int = 4,
     ) -> None:
         self.session = session
         self.peer_id = peer_id
@@ -37,7 +39,13 @@ class LeafPeerAgent:
         self.node.on_deliver = self._on_deliver
         n = session.config.content_packets
         self.decoder = ParityDecoder(n)
-        self.buffer = PlaybackBuffer(n, capacity=buffer_capacity)
+        self.buffer = PlaybackBuffer(
+            n, capacity=buffer_capacity, skip_after_misses=skip_after_misses
+        )
+        #: duplicate-suppression for control traffic keyed on the wire
+        #: uid — link-level duplicates share it, so a duplicated confirm
+        #: or heartbeat is applied exactly once
+        self.dedup = DedupWindow()
         #: arrival times of every media packet (for rate measurement)
         self.arrival_times: list[float] = []
         #: data arrivals that jumped ahead of a gap — violations of §2's
@@ -74,6 +82,14 @@ class LeafPeerAgent:
         if message.kind != "packet":
             if self.session.intercept_control(message):
                 return  # ack, or duplicate of a retransmitted message
+            if message.uid is not None and self.dedup.seen(message.uid):
+                # a link fault delivered this physical send twice; the
+                # first copy was already applied
+                self.session.note_duplicate_suppressed(
+                    self.peer_id, message
+                )
+                return
+            self.session.note_control_applied(self.peer_id, message)
             if message.kind == "heartbeat":
                 if detector is not None:
                     detector.on_heartbeat(message.body)
@@ -137,23 +153,24 @@ class LeafPeerAgent:
             else 2 * cfg.delta + period
         )
         yield self.env.timeout(delay)
-        misses = 0
         while not self.buffer.finished:
             played = self.buffer.play_next(self.env.now)
             if played is None:
-                misses += 1
                 if self.env.tracer is not None:
                     self.env.tracer.emit(
                         "buffer.underrun",
                         self.peer_id,
                         seq=self.buffer.next_needed,
                     )
-                # after persistent stalls, skip to bound the run time
-                if misses > 3:
-                    self.buffer.skip()
-                    misses = 0
-            else:
-                misses = 0
+                # degrade, don't deadlock: after skip_after_misses
+                # consecutive stalls give the packet up and move on —
+                # a partitioned leaf keeps (gappy) playback running
+                if self.buffer.should_skip:
+                    skipped = self.buffer.skip()
+                    if self.env.tracer is not None:
+                        self.env.tracer.emit(
+                            "buffer.skip", self.peer_id, seq=skipped
+                        )
             yield self.env.timeout(period)
 
     # ------------------------------------------------------------------

@@ -85,6 +85,13 @@ class SessionResult:
     recoordinations: int = 0
     #: mean ms from ground-truth crash to residual re-flood, when any
     mean_handoff_latency: Optional[float] = None
+    # --- partition / link-fault metrics ----------------------------------
+    #: extra message copies produced by duplicating link faults
+    link_duplicates: int = 0
+    #: link-fault duplicates suppressed by the agents' dedup windows
+    link_duplicates_suppressed: int = 0
+    #: packets playback abandoned under the buffer's skip policy
+    playback_skips: int = 0
     # --- observability handles (present only when tracing was enabled) ---
     #: the session's :class:`~repro.obs.trace.TraceBus`, finalized — or,
     #: after :meth:`detach`, its exported JSON-able dict form
@@ -260,6 +267,7 @@ class StreamingSession:
         """The one true constructor: materialize ``spec`` into a session."""
         from repro.streaming.spec import (
             resolve_latency,
+            resolve_link_fault_factory,
             resolve_loss_factory,
             resolve_protocol,
         )
@@ -269,6 +277,7 @@ class StreamingSession:
         latency = resolve_latency(spec.latency)
         loss_factory = resolve_loss_factory(spec.loss)
         control_loss_factory = resolve_loss_factory(spec.control_loss)
+        link_fault_factory = resolve_link_fault_factory(spec.link_fault)
         buffer_capacity = spec.buffer_capacity
         playback = spec.playback
         fault_plan = spec.fault_plan
@@ -320,6 +329,7 @@ class StreamingSession:
             default_loss_factory=loss_factory,
             latency_factory=latency_factory,
             control_loss_factory=control_loss_factory,
+            link_fault_factory=link_fault_factory,
         )
         self.content = MediaContent(
             "content",
@@ -335,6 +345,7 @@ class StreamingSession:
             playback=playback,
             max_receipt_rate=leaf_receipt_rate,
             receive_buffer_packets=leaf_receive_buffer,
+            skip_after_misses=spec.playback_skip_misses,
         )
         self.peer_ids: List[str] = [f"CP{i}" for i in range(1, config.n + 1)]
         #: per-peer uplink capacity in packets/ms (absent = unlimited);
@@ -371,6 +382,9 @@ class StreamingSession:
             churn_plan.install(self)
         if fault_plan is not None:
             fault_plan.install(self)
+        self.partition_plan = spec.partition_plan
+        if spec.partition_plan is not None:
+            spec.partition_plan.install(self)
         self.repair_monitor: Optional["RepairMonitor"] = None
         if repair_policy is not None:
             from repro.streaming.repair import RepairMonitor
@@ -499,6 +513,35 @@ class StreamingSession:
         if self.control_plane is None:
             return False
         return self.control_plane.intercept(message)
+
+    def note_control_applied(self, receiver: str, message: Message) -> None:
+        """An agent is about to *apply* a non-packet message.
+
+        Emits the ``ctrl.apply`` trace event the duplicate-effect auditor
+        checks: one logical control message (one wire ``uid``, one
+        control-plane ``msg_id``) may change receiver state at most once.
+        """
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "ctrl.apply",
+                receiver,
+                kind=message.kind,
+                src=message.src,
+                uid=message.uid,
+                mid=message.msg_id,
+            )
+
+    def note_duplicate_suppressed(self, receiver: str, message: Message) -> None:
+        """An agent's dedup window suppressed a link-fault duplicate."""
+        self.overlay.traffic.link_dupes_suppressed_by_kind[message.kind] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "msg.dedup",
+                receiver,
+                kind=message.kind,
+                src=message.src,
+                uid=message.uid,
+            )
 
     def _on_control_give_up(self, src: str, dst: str, kind: str, body) -> None:
         """Retries exhausted toward ``dst``: treat it as unreachable.
@@ -658,6 +701,11 @@ class StreamingSession:
                 if handoff_latencies
                 else None
             ),
+            link_duplicates=sum(traffic.duplicated_by_kind.values()),
+            link_duplicates_suppressed=sum(
+                traffic.link_dupes_suppressed_by_kind.values()
+            ),
+            playback_skips=self.leaf.buffer.skips,
             trace=self.trace_bus,
             timeseries=timeseries,
             audit=self._audit_report,

@@ -68,13 +68,20 @@ from repro.net.latency import (
     NormalLatency,
     UniformLatency,
 )
+from repro.net.linkfault import (
+    CompositeFault,
+    DuplicateFault,
+    LinkFault,
+    ReorderFault,
+    SeverWindow,
+)
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
 from repro.obs.audit import AuditConfig
 from repro.obs.trace import TraceConfig
 from repro.streaming.adaptive import RateAdaptationPolicy
 from repro.streaming.detector import DetectorPolicy
-from repro.streaming.faults import ChurnPlan, FaultPlan
+from repro.streaming.faults import ChurnPlan, FaultPlan, PartitionPlan
 from repro.streaming.repair import RepairPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,14 +89,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "LatencySpec",
+    "LinkFaultSpec",
     "LossSpec",
     "ProtocolSpec",
     "SessionSpec",
     "available_factories",
     "register_latency",
+    "register_link_fault",
     "register_loss",
     "register_protocol",
     "resolve_latency",
+    "resolve_link_fault_factory",
     "resolve_loss_factory",
     "resolve_protocol",
 ]
@@ -102,6 +112,7 @@ _REGISTRIES: Dict[str, Dict[str, Callable[..., Any]]] = {
     "latency": {},
     "loss": {},
     "protocol": {},
+    "link_fault": {},
 }
 
 
@@ -146,6 +157,16 @@ def register_protocol(name: str, factory=None):
     return _register("protocol", name, factory)
 
 
+def register_link_fault(name: str, factory=None):
+    """Register a link-fault factory (usable as a decorator).
+
+    Called once **per directed channel** at build time, so stateful
+    faults never share state across links — the same freshness contract
+    as :func:`register_loss`.
+    """
+    return _register("link_fault", name, factory)
+
+
 def _get_factory(category: str, name: str) -> Callable[..., Any]:
     registry = _REGISTRIES[category]
     try:
@@ -159,7 +180,8 @@ def _get_factory(category: str, name: str) -> Callable[..., Any]:
 
 
 def available_factories(category: str) -> list[str]:
-    """Registered factory names for ``'latency'``/``'loss'``/``'protocol'``."""
+    """Registered factory names for ``'latency'``/``'loss'``/
+    ``'protocol'``/``'link_fault'``."""
     return sorted(_REGISTRIES[category])
 
 
@@ -184,6 +206,34 @@ def _bursty_loss(rate: float, mean_burst: float = 3.0) -> LossModel:
     p_bg = 1 / mean_burst
     p_gb = min(1.0, rate * p_bg / max(1e-12, (1 - rate)))
     return GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
+
+
+# built-in link faults
+register_link_fault("duplicate", DuplicateFault)
+register_link_fault("reorder", ReorderFault)
+register_link_fault("sever", SeverWindow)
+
+
+@register_link_fault("chaos")
+def _chaos_fault(
+    dup_p: float = 0.0,
+    reorder_p: float = 0.0,
+    max_delay: float = 1.0,
+    copies: int = 2,
+) -> LinkFault:
+    """Duplication + bounded reorder jitter in one composable pipeline —
+    the acceptance scenario's "duplicate p of control messages, reorder
+    within a max_delay window"."""
+    stages: list[LinkFault] = []
+    if dup_p > 0:
+        stages.append(DuplicateFault(p=dup_p, copies=copies))
+    if reorder_p > 0:
+        stages.append(ReorderFault(p=reorder_p, max_delay=max_delay))
+    if not stages:
+        raise ValueError("chaos fault needs dup_p > 0 or reorder_p > 0")
+    if len(stages) == 1:
+        return stages[0]
+    return CompositeFault(tuple(stages))
 
 
 # built-in coordination protocols
@@ -223,10 +273,44 @@ class LossSpec:
     kind: str
     params: Mapping[str, Any] = field(default_factory=dict)
 
+    def build(self) -> LossModel:
+        """One **fresh** model instance per call.
+
+        Stateful models (Gilbert–Elliott keeps burst state) must never
+        be shared across channels: a shared instance couples the burst
+        processes of every link.  ``build()`` therefore constructs a new
+        instance on every call, and :meth:`factory` — the per-channel
+        path the overlay consumes — delegates to it, so two channels
+        built from one spec get independent loss streams even at equal
+        seeds.
+        """
+        return _get_factory("loss", self.kind)(**dict(self.params))
+
     def factory(self) -> Callable[[], LossModel]:
-        fn = _get_factory("loss", self.kind)
+        factory = _get_factory("loss", self.kind)  # eager: unknown kind raises here
         params = dict(self.params)
-        return lambda: fn(**params)
+        return lambda: factory(**params)  # fresh instance per channel
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """A registered link fault by name, e.g. ``LinkFaultSpec("chaos",
+    {"dup_p": 0.1, "reorder_p": 0.2, "max_delay": 20.0})``.
+
+    Like :class:`LossSpec`, :meth:`factory` yields a per-channel factory:
+    stateful faults start fresh on every directed link.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> LinkFault:
+        return _get_factory("link_fault", self.kind)(**dict(self.params))
+
+    def factory(self) -> Callable[[], LinkFault]:
+        factory = _get_factory("link_fault", self.kind)
+        params = dict(self.params)
+        return lambda: factory(**params)
 
 
 @dataclass(frozen=True)
@@ -247,6 +331,7 @@ ProtocolLike = Union[
 ]
 LatencyLike = Union[LatencySpec, LatencyModel]
 LossLike = Union[LossSpec, Callable[[], LossModel]]
+LinkFaultLike = Union[LinkFaultSpec, Callable[[], LinkFault]]
 
 
 def resolve_protocol(value: ProtocolLike) -> CoordinationProtocol:
@@ -303,6 +388,28 @@ def resolve_loss_factory(
     )
 
 
+def resolve_link_fault_factory(
+    value: Optional[LinkFaultLike],
+) -> Optional[Callable[[], LinkFault]]:
+    """Materialize the ``link_fault`` field into a per-channel factory."""
+    if value is None:
+        return None
+    if isinstance(value, LinkFaultSpec):
+        return value.factory()
+    if isinstance(value, LinkFault):
+        raise TypeError(
+            "got a LinkFault instance; the link_fault knob takes a "
+            "per-channel *factory* (stateful faults must not be shared "
+            "across links) — pass a LinkFaultSpec or a zero-arg callable"
+        )
+    if callable(value):
+        return value
+    raise TypeError(
+        f"cannot build a link-fault factory from {type(value).__name__}; "
+        "pass a LinkFaultSpec or a zero-arg callable"
+    )
+
+
 # ----------------------------------------------------------------------
 # the session spec
 # ----------------------------------------------------------------------
@@ -330,8 +437,14 @@ class SessionSpec:
     loss: Optional[LossLike] = None
     #: extra loss applied to control traffic only
     control_loss: Optional[LossLike] = None
+    #: per-directed-link fault process (duplicate/reorder/sever …)
+    link_fault: Optional[LinkFaultLike] = None
+    #: scheduled overlay partition / one-way link cuts
+    partition_plan: Optional[PartitionPlan] = None
     buffer_capacity: float = float("inf")
     playback: bool = False
+    #: consecutive playback stalls on one packet before it is skipped
+    playback_skip_misses: int = 4
     fault_plan: Optional[FaultPlan] = None
     repair_policy: Optional[RepairPolicy] = None
     adaptation_policy: Optional[RateAdaptationPolicy] = None

@@ -63,7 +63,8 @@ def test_figure_shaped_runs_pass_all_auditors(protocol):
     assert report.violation_count == 0
     assert report.warning_count == 0
     assert sorted(report.auditors) == [
-        "allocation", "causal", "detector", "parity", "tree",
+        "allocation", "causal", "detector", "duplicate_effect",
+        "parity", "tree",
     ]
     # every auditor actually consumed the stream
     assert all(e["events_seen"] > 0 for e in report.auditors.values())

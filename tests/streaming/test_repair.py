@@ -161,6 +161,44 @@ def test_repair_skips_detector_suspects():
     assert r.delivery_ratio == 1.0
 
 
+def test_repair_fails_over_from_one_way_dead_peer():
+    """Repair requests that reach a peer whose *answers* vanish (one-way
+    link failure toward the leaf) must not strand the leaf: later rounds
+    re-sample and another serving peer covers the gap within the policy's
+    round budget."""
+    from repro.streaming.faults import LinkCut, PartitionPlan
+
+    cfg = config(fault_margin=0)
+    probe = StreamingSession(cfg, ScheduleBasedCoordination())
+    victim = probe.leaf_select(5)[0]
+    # half the peers can hear repair requests but their replies vanish
+    mute = [p for p in probe.peer_ids if p != victim][::2]
+    from repro.streaming import SessionSpec
+
+    session = SessionSpec(
+        config=cfg,
+        protocol=ScheduleBasedCoordination,
+        fault_plan=FaultPlan().crash(victim, 100.0),
+        repair_policy=RepairPolicy(fanout=1, max_rounds=20),
+        partition_plan=PartitionPlan(
+            cuts=tuple(LinkCut(p, "leaf", at=0.0) for p in mute)
+        ),
+    ).build()
+    r = session.run()
+    assert r.delivery_ratio == 1.0
+    assert not session.repair_monitor.gave_up
+    assert session.repair_monitor.rounds_issued <= 20
+    repair_targets = [
+        dst
+        for kind, _, _, dst in session.overlay.traffic.send_log
+        if kind == "repair"
+    ]
+    # the failover was actually exercised: at least one round landed on a
+    # mute peer, and a later one reached a peer that could answer
+    assert any(dst in mute for dst in repair_targets)
+    assert any(dst not in mute for dst in repair_targets)
+
+
 def test_repair_falls_back_when_everyone_suspected():
     """A false mass suspicion must not starve repair: with every peer
     suspected the monitor samples from the full list again."""

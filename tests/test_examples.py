@@ -70,3 +70,27 @@ def test_churn_streaming(capsys):
     assert "confirmed dead" in out
     assert "re-coordinations:" in out
     assert "tolerance stack off" in out
+
+
+def test_partition_streaming(capsys, tmp_path, monkeypatch):
+    import json
+
+    report_path = tmp_path / "audit.json"
+    monkeypatch.setattr(
+        sys, "argv", ["partition_streaming.py", str(report_path)]
+    )
+    out = run_example("partition_streaming.py", capsys)
+    assert "partition-tolerant DCoP" in out
+    assert "partition split isolating" in out
+    assert "partition heal" in out
+    assert "delivery ratio:          1.0000" in out
+    assert "confirmed unreachable" in out
+    assert "rejoined after heal:     CP3, CP4" in out
+    assert "suppressed by dedup" in out
+    assert "audit PASS" in out
+    assert "0 double-applies" in out
+    # the CI artifact: a machine-readable audit verdict
+    report = json.loads(report_path.read_text())
+    assert report["type"] == "audit_report"
+    assert report["passed"] is True
+    assert report["auditors"]["duplicate_effect"]["violations"] == []
