@@ -38,6 +38,7 @@ from repro.experiments.ablations import (
     run_ams_overhead,
     run_churn,
     run_fault_tolerance,
+    run_gray,
     run_hetero_flooding,
     run_heterogeneous,
     run_loss_recovery,
@@ -71,6 +72,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_gray",
     "run_hetero_flooding",
     "run_heterogeneous",
     "run_loss_recovery",

@@ -28,6 +28,9 @@
 * EX-M :func:`run_partition` — network partitions of varying duration and
   component size: receipt ratio and split→re-coordination latency of DCoP
   vs TCoP (partitioned peers are silent, not dead).
+* EX-N :func:`run_gray` — gray-failure gauntlet (flapping, rate-degraded,
+  and stuttering peers that never cleanly die): receipt with the peer
+  quarantine circuit breaker on vs off, for every protocol.
 
 Every entry point describes its runs as declarative
 :class:`~repro.streaming.spec.SessionSpec` values; the independent-cell
@@ -835,5 +838,129 @@ def run_partition(
                 )
         series.add(
             duration if duration is not None else "permanent", **row
+        )
+    return series
+
+
+def run_gray(
+    protocols: Optional[Sequence[str]] = None,
+    n: int = 10,
+    H: int = 4,
+    content_packets: int = 150,
+    delta: float = 8.0,
+    seed: int = 13,
+    executor=None,
+) -> SweepSeries:
+    """EX-N: gray failures — quarantine on vs off, every protocol.
+
+    The gauntlet degrades without killing: the leaf's first pick *flaps*
+    (short crash/rejoin cycles), its second pick is rate-degraded to a
+    crawl while heartbeating normally, and every link stutters (periodic
+    stalls that burst-flush).  The accrual failure detector, adaptive
+    control timeouts, and repair stay on in both arms; only the
+    :class:`~repro.streaming.health.HealthPolicy` circuit breaker is
+    toggled.  Reports per protocol the receipt ratio and delivery of
+    both arms plus the quarantine/readmission/false-quarantine counts —
+    the breaker must never *cost* receipt (quarantine-on ≥ off).  Every
+    (protocol, arm) cell is an independent spec, so ``executor`` fans
+    the matrix out across cores.
+    """
+    from repro.net.overlay import RetransmitPolicy
+    from repro.streaming.health import HealthPolicy
+    from repro.streaming.repair import RepairPolicy
+    from repro.streaming.spec import DetectorSpec, LinkFaultSpec
+
+    labels = (
+        list(protocols)
+        if protocols is not None
+        else [
+            "dcop", "tcop", "broadcast", "centralized", "schedule_based",
+            "single_source", "unicast_chain", "ams", "hetero_schedule",
+            "hetero_dcop",
+        ]
+    )
+    series = SweepSeries(
+        "protocol",
+        [
+            "receipt_on", "receipt_off", "delivery_on", "delivery_off",
+            "quarantines", "readmissions", "false_quarantines",
+            "detection_ms", "false_suspects",
+        ],
+        title=(
+            f"EX-N — receipt under gray failures, quarantine on vs off "
+            f"(n={n}, H={H}, flap+degrade+stutter)"
+        ),
+    )
+
+    def config_for() -> ProtocolConfig:
+        return ProtocolConfig(
+            n=n,
+            H=H,
+            fault_margin=1,
+            content_packets=content_packets,
+            delta=delta,
+            seed=seed,
+        )
+
+    # same config + seed ⇒ same first picks for every cell
+    probe = SessionSpec(
+        config=config_for(), protocol=ProtocolSpec("dcop")
+    ).build()
+    first = probe.leaf_select(max(2, H))
+    plan = (
+        FaultPlan()
+        .flap(
+            first[0],
+            at=60.0,
+            down_for=4 * delta,
+            period=12 * delta,
+            count=3,
+        )
+        .degrade(first[1], at=40.0, factor=0.1)
+    )
+
+    def spec_for(label: str, health: bool) -> SessionSpec:
+        params = (
+            {"bandwidths": [2.0] + [1.0] * (H - 1)}
+            if label == "hetero_schedule"
+            else {}
+        )
+        return SessionSpec(
+            config=config_for(),
+            protocol=ProtocolSpec(label, params),
+            fault_plan=plan,
+            link_fault=LinkFaultSpec(
+                "stutter", {"period": 8 * delta, "stall": 2 * delta}
+            ),
+            retransmit_policy=RetransmitPolicy(adaptive=True),
+            detector_policy=DetectorSpec("accrual"),
+            repair_policy=RepairPolicy(),
+            health_policy=HealthPolicy() if health else None,
+        )
+
+    specs = [
+        spec_for(label, health)
+        for label in labels
+        for health in (True, False)
+    ]
+    results = iter(run_specs(specs, executor=executor))
+    for label in labels:
+        on = next(results)
+        off = next(results)
+        series.add(
+            label,
+            receipt_on=round(on.receipt_rate, 4),
+            receipt_off=round(off.receipt_rate, 4),
+            delivery_on=round(on.delivery_ratio, 4),
+            delivery_off=round(off.delivery_ratio, 4),
+            quarantines=on.quarantines,
+            readmissions=on.readmissions,
+            false_quarantines=on.false_quarantines,
+            detection_ms=(
+                round(on.mean_detection_latency, 2)
+                if on.mean_detection_latency is not None
+                else None
+            ),
+            false_suspects=on.false_suspicions,
         )
     return series

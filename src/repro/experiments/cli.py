@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
     run_ams_overhead,
     run_churn,
     run_fault_tolerance,
+    run_gray,
     run_hetero_flooding,
     run_heterogeneous,
     run_loss_recovery,
@@ -65,6 +66,25 @@ def _parse_model_spec(text: str):
                     continue
             params[key.strip()] = value
     return name.strip(), params
+
+
+def _parse_params(text: str) -> dict:
+    """``key=val,key=val`` → params dict (int, then float, then str)."""
+    params = {}
+    for pair in text.split(","):
+        key, eq, value = pair.partition("=")
+        if not eq or not key.strip():
+            raise ValueError(
+                f"bad parameter {pair!r} in {text!r} (expected key=value)"
+            )
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        params[key.strip()] = value
+    return params
 
 
 def _parse_partition(text: str):
@@ -133,6 +153,8 @@ def _figures(args) -> list[tuple[str, object]]:
         out.append(("EX-K", run_hetero_flooding()))
         churn_kw = {"content_packets": 200} if args.quick else {}
         out.append(("EX-L", run_churn(seed=args.seed, **churn_kw, **ex)))
+        gray_kw = {"content_packets": 100} if args.quick else {}
+        out.append(("EX-N", run_gray(seed=args.seed, **gray_kw, **ex)))
     if executor is not None:
         executor.close()
     return out
@@ -148,6 +170,7 @@ def _build_session_spec(args, audit=None):
     from repro.obs import TraceConfig
     from repro.streaming.faults import PartitionPlan
     from repro.streaming.spec import (
+        DetectorSpec,
         LatencySpec,
         LinkFaultSpec,
         LossSpec,
@@ -162,6 +185,7 @@ def _build_session_spec(args, audit=None):
         ("latency", args.latency),
         ("loss", args.loss),
         ("link_fault", args.link_fault),
+        ("detector", args.detector),
     ):
         if option is None:
             models[category] = None
@@ -177,6 +201,17 @@ def _build_session_spec(args, audit=None):
                 f"(available: {', '.join(known)})"
             )
         models[category] = (name, params)
+
+    retransmit_policy = None
+    if args.retransmit is not None:
+        from repro.net.overlay import RetransmitPolicy
+
+        try:
+            retransmit_policy = RetransmitPolicy(
+                **_parse_params(args.retransmit)
+            )
+        except (TypeError, ValueError) as exc:
+            return _fail(f"bad --retransmit {args.retransmit!r}: {exc}")
 
     partition_plan = None
     if args.partition is not None:
@@ -195,6 +230,14 @@ def _build_session_spec(args, audit=None):
         seed=args.seed,
         content_packets=100 if args.quick else args.packets,
     )
+    detector_spec = None
+    if models["detector"]:
+        detector_spec = DetectorSpec(*models["detector"])
+        try:
+            detector_spec.build()  # eager: bad params fail here, not mid-run
+        except (TypeError, ValueError) as exc:
+            return _fail(f"bad --detector {args.detector!r}: {exc}")
+
     protocol_name, protocol_params = models["protocol"]
     return SessionSpec(
         config=config,
@@ -207,6 +250,8 @@ def _build_session_spec(args, audit=None):
             else None
         ),
         partition_plan=partition_plan,
+        detector_policy=detector_spec,
+        retransmit_policy=retransmit_policy,
         trace=TraceConfig(),
         audit=audit,
     )
@@ -395,6 +440,22 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "registered link fault applied to every channel, e.g. "
             "chaos:dup_p=0.1,reorder_p=0.2,max_delay=20"
+        ),
+    )
+    trace_group.add_argument(
+        "--detector",
+        metavar="NAME[:k=v,...]",
+        help=(
+            "registered failure-detector policy, e.g. "
+            "accrual:phi_suspect=1.5,window=16 or fixed:suspect_after=2"
+        ),
+    )
+    trace_group.add_argument(
+        "--retransmit",
+        metavar="k=v,...",
+        help=(
+            "reliable control-plane retransmit policy fields, e.g. "
+            "adaptive=1,max_retries=6,jitter=0.5"
         ),
     )
     trace_group.add_argument(

@@ -38,9 +38,11 @@ __all__ = [
     "CompositeFault",
     "DropFault",
     "DuplicateFault",
+    "LatencySpikeFault",
     "LinkFault",
     "ReorderFault",
     "SeverWindow",
+    "StutterFault",
 ]
 
 
@@ -134,6 +136,65 @@ class SeverWindow(LinkFault):
     def apply(self, rng, now):
         if self.at <= now < self.until:
             return ()
+        return (0.0,)
+
+
+@dataclass
+class StutterFault(LinkFault):
+    """Periodic windowed stall: the link freezes for the first ``stall``
+    ms of every ``period``-ms cycle and flushes at the window's end.
+
+    A send landing inside a stall window is held back until the window
+    closes (delay = time left in the window), so traffic arrives in
+    bursts at every window boundary — the gray "stuttering link" that
+    keeps a peer alive while wrecking its delivered throughput.
+    Deterministic (no RNG draws), so composing it with probabilistic
+    faults perturbs no other random sequence.
+    """
+
+    period: float
+    stall: float
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < self.stall < self.period:
+            raise ValueError("stall must be in (0, period)")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+
+    def apply(self, rng, now):
+        if now < self.start:
+            return (0.0,)
+        phase = (now - self.start) % self.period
+        if phase < self.stall:
+            return (self.stall - phase,)
+        return (0.0,)
+
+
+@dataclass
+class LatencySpikeFault(LinkFault):
+    """With probability ``p`` a copy is held back a full ``magnitude`` ms.
+
+    Unlike :class:`ReorderFault`'s bounded uniform jitter, a spike is a
+    fixed, typically large (multi-δ) inflation — the route-flap /
+    bufferbloat excursion that drags a destination's RTT estimate up
+    while everything still (eventually) arrives.
+    """
+
+    p: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+
+    def apply(self, rng, now):
+        if float(rng.random()) < self.p:
+            return (self.magnitude,)
         return (0.0,)
 
 

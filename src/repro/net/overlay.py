@@ -59,16 +59,28 @@ class RetransmitPolicy:
     """Retry budget + exponential backoff for reliable control sends.
 
     A reliable send waits ``ack_timeout_deltas`` δ for an ack, then
-    retransmits (same ``msg_id``) up to ``max_retries`` times; each wait is
-    ``backoff`` times the previous one, stretched by a uniform jitter in
-    ``[0, jitter]`` drawn from the session's deterministic RNG streams so
-    identical seeds replay identically.
+    retransmits (same ``msg_id``) up to ``max_retries`` times; each wait
+    is ``backoff`` times the previous one, spread by a *full* uniform
+    jitter over ``[1 - jitter/2, 1 + jitter/2]`` drawn from the session's
+    deterministic RNG streams so identical seeds replay identically (and
+    equal-policy senders de-align instead of synchronizing retry storms).
+
+    With ``adaptive=True`` the base timeout toward each destination is
+    the Jacobson RTO (``SRTT + 4·RTTVAR``) from that destination's
+    observed ack round-trips, clamped to
+    ``[min_timeout_deltas, max_timeout_deltas]`` δ; ``ack_timeout_deltas``
+    remains the cold-start value until the first RTT sample.
     """
 
     max_retries: int = 4
     ack_timeout_deltas: float = 2.5
     backoff: float = 2.0
     jitter: float = 0.25
+    #: derive per-destination ack timeouts from measured RTTs
+    adaptive: bool = False
+    #: clamp for the adaptive RTO, in δ units
+    min_timeout_deltas: float = 1.0
+    max_timeout_deltas: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -79,6 +91,49 @@ class RetransmitPolicy:
             raise ValueError("backoff must be >= 1")
         if self.jitter < 0:
             raise ValueError("jitter must be >= 0")
+        if self.min_timeout_deltas <= 0:
+            raise ValueError("min_timeout_deltas must be positive")
+        if self.max_timeout_deltas < self.min_timeout_deltas:
+            raise ValueError(
+                "max_timeout_deltas must be >= min_timeout_deltas"
+            )
+
+
+@dataclass
+class RttEstimator:
+    """Jacobson/Karn smoothed RTT for one destination.
+
+    ``observe()`` folds an ack round-trip into ``SRTT``/``RTTVAR`` with
+    the classic gains (α=1/8, β=1/4); callers apply Karn's rule — a
+    sample whose message was retransmitted is never fed in, since the
+    ack cannot be attributed to a specific transmission.
+    """
+
+    alpha: float = 0.125
+    beta: float = 0.25
+    srtt: Optional[float] = None
+    rttvar: float = 0.0
+    samples: int = 0
+
+    def observe(self, rtt: float) -> None:
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (
+                (1.0 - self.beta) * self.rttvar
+                + self.beta * abs(self.srtt - rtt)
+            )
+            self.srtt = (1.0 - self.alpha) * self.srtt + self.alpha * rtt
+        self.samples += 1
+
+    def rto(self) -> Optional[float]:
+        """``SRTT + 4·RTTVAR``, or None before the first sample."""
+        if self.srtt is None:
+            return None
+        return self.srtt + 4.0 * self.rttvar
 
 
 class ControlPlane:
@@ -109,6 +164,11 @@ class ControlPlane:
         self._ids = itertools.count(1)
         #: msg_id -> ack event of in-flight reliable sends
         self._pending: Dict[int, object] = {}
+        #: msg_id -> [dst, send time, retransmitted?] for RTT sampling
+        self._meta: Dict[int, list] = {}
+        #: per-destination smoothed RTT (always maintained; only *used*
+        #: for timeouts when the policy is adaptive)
+        self.rtt: Dict[str, RttEstimator] = {}
         #: msg_ids already delivered to a handler (duplicate suppression)
         self._seen: set[int] = set()
         self._rng = overlay.streams.get("retx/jitter")
@@ -123,24 +183,55 @@ class ControlPlane:
         mid = next(self._ids)
         acked = self.env.event()
         self._pending[mid] = acked
+        self._meta[mid] = [dst, self.env.now, False]
         self.overlay.send(src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid)
         self.env.process(self._retry_loop(mid, acked, src, dst, kind, body, size_bytes))
 
+    def _timeout_for(self, dst: str) -> float:
+        """Base ack timeout toward ``dst`` (ms): fixed, or adaptive RTO."""
+        pol = self.policy
+        base = pol.ack_timeout_deltas * self.delta
+        if not pol.adaptive:
+            return base
+        est = self.rtt.get(dst)
+        rto = est.rto() if est is not None else None
+        if rto is None:
+            return base  # cold start: no sample toward dst yet
+        lo = pol.min_timeout_deltas * self.delta
+        hi = pol.max_timeout_deltas * self.delta
+        return min(max(rto, lo), hi)
+
+    def srtt_of(self, dst: str) -> Optional[float]:
+        """Smoothed RTT toward ``dst`` in ms (None before any sample)."""
+        est = self.rtt.get(dst)
+        return est.srtt if est is not None else None
+
     def _retry_loop(self, mid, acked, src, dst, kind, body, size_bytes):
         pol = self.policy
-        wait = pol.ack_timeout_deltas * self.delta
+        wait = self._timeout_for(dst)
         for _attempt in range(pol.max_retries + 1):
-            jittered = wait * (1.0 + pol.jitter * float(self._rng.random()))
+            # full jitter: spread over [1 - j/2, 1 + j/2] so equal-policy
+            # senders de-align instead of piling onto the lower edge
+            jittered = wait * (
+                1.0 + pol.jitter * (float(self._rng.random()) - 0.5)
+            )
             yield AnyOf(self.env, [acked, self.env.timeout(jittered)])
             if acked.triggered:
                 return
             if self.overlay.nodes[src].down:
                 # a dead sender retries nothing
                 self._pending.pop(mid, None)
+                self._meta.pop(mid, None)
                 return
             if _attempt == pol.max_retries:
                 break
             self.overlay.traffic.retransmissions_by_kind[kind] += 1
+            meta = self._meta.get(mid)
+            if meta is not None:
+                # Karn's rule: once retransmitted, the eventual ack can
+                # no longer be attributed to one transmission — never
+                # feed its round-trip into the estimator
+                meta[2] = True
             if self.env.tracer is not None:
                 self.env.tracer.emit(
                     "msg.retransmit", src, dst=dst, kind=kind,
@@ -151,6 +242,7 @@ class ControlPlane:
             )
             wait *= pol.backoff
         self._pending.pop(mid, None)
+        self._meta.pop(mid, None)
         self.overlay.traffic.give_ups_by_kind[kind] += 1
         if self.env.tracer is not None:
             self.env.tracer.emit("msg.give_up", src, dst=dst, kind=kind)
@@ -168,8 +260,16 @@ class ControlPlane:
         """
         if message.kind == "ack":
             acked = self._pending.pop(message.body, None)
+            meta = self._meta.pop(message.body, None)
             if acked is not None and not acked.triggered:
                 acked.succeed()
+                if meta is not None and not meta[2]:
+                    # first ack of a never-retransmitted send: a clean
+                    # RTT sample (Karn's rule filtered the rest)
+                    est = self.rtt.get(meta[0])
+                    if est is None:
+                        est = self.rtt[meta[0]] = RttEstimator()
+                    est.observe(self.env.now - meta[1])
             return True
         if message.msg_id is None:
             return False

@@ -24,7 +24,11 @@ online, maintaining one protocol invariant:
   maintained per participant as the evidence substrate;
 * :class:`DetectorAuditor` — no ``detector.confirm`` against a peer that
   is actually up (ground truth from ``peer.crash``/``peer.rejoin``), and
-  detection latency within the configured bound.
+  detection latency within the configured bound;
+* :class:`QuarantineAuditor` — the gray-failure circuit breaker's
+  contract: no assignment traffic to a quarantined peer, readmission
+  only through consecutive successful half-open probes, and no
+  quarantine at all in a fault-free environment.
 
 Every violation is published back onto the bus as an ``audit.violation``
 (or ``audit.warning``) event carrying the evidence chain, and collected
@@ -84,6 +88,7 @@ __all__ = [
     "DetectorAuditor",
     "DuplicateEffectAuditor",
     "ParityAuditor",
+    "QuarantineAuditor",
     "TreeAuditor",
     "Violation",
     "available_auditors",
@@ -822,6 +827,153 @@ class DetectorAuditor(Auditor):
         }
 
 
+@register_auditor("quarantine")
+class QuarantineAuditor(Auditor):
+    """The health monitor's circuit-breaker contract.
+
+    Consumes ``health.quarantine``/``health.probe``/``health.readmit``
+    plus the message flow, and checks three invariants:
+
+    * while a peer is quarantined, no coordination work is assigned to
+      it — no ``repair``/``adapt`` from anyone, no leaf-originated
+      assignment traffic (``request``/``start``/``control``/``offer``/
+      ``prepare``/``ready``).  Probes, acks, and heartbeats are the
+      breaker's own half-open traffic and always allowed; a send the
+      control plane *retransmits* (matching ``msg.retransmit``, same
+      instant) predates the quarantine and is excused;
+    * readmission happens only through probing: every ``health.readmit``
+      needs a live episode and at least ``required`` consecutive
+      successful ``health.probe`` events inside it — traffic-driven
+      ``touch()`` liveness must never reopen the breaker;
+    * the false-quarantine bound: an episode flagged ``false=True``
+      (the simulator's oracle says no injected fault can explain it)
+      is a violation — in a clean environment the breaker must not trip.
+    """
+
+    name = "quarantine"
+
+    #: never allowed toward a quarantined destination, whoever sends
+    _FORBIDDEN_ANY = frozenset({"repair", "adapt"})
+    #: not allowed from the leaf (the quarantining authority) while open
+    _FORBIDDEN_LEAF = frozenset(
+        {"request", "start", "control", "offer", "prepare", "ready"}
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: peer -> the opening health.quarantine event
+        self._open: Dict[str, TraceEvent] = {}
+        #: peer -> consecutive successful probes in the current episode
+        self._ok_streak: Dict[str, int] = {}
+        #: (src, dst, kind, ts) of observed control retransmissions
+        self._retx: set = set()
+        self._episodes = 0
+        self._readmissions = 0
+        self._retx_excused = 0
+
+    def handle(self, event: TraceEvent) -> None:
+        kind = event.kind
+        payload = event.payload()
+        if kind == "health.quarantine":
+            self._episodes += 1
+            self._open[event.subject] = event
+            self._ok_streak[event.subject] = 0
+            if payload.get("false"):
+                self.violation(
+                    "quarantine.false_quarantine",
+                    event.subject,
+                    f"{event.subject} quarantined "
+                    f"({payload.get('reasons')!r}) with no injected fault "
+                    "that could explain it — the breaker tripped in a "
+                    "clean environment",
+                    evidence=[event],
+                )
+        elif kind == "health.probe":
+            pid = event.subject
+            if pid not in self._open:
+                self.violation(
+                    "quarantine.probe_outside_episode",
+                    pid,
+                    f"probe result for {pid} outside any quarantine "
+                    "episode",
+                    evidence=[event],
+                )
+                return
+            if payload.get("ok"):
+                self._ok_streak[pid] = self._ok_streak.get(pid, 0) + 1
+            else:
+                self._ok_streak[pid] = 0
+        elif kind == "health.readmit":
+            self._on_readmit(event, payload)
+        elif kind == "msg.retransmit":
+            self._retx.add(
+                (event.subject, payload.get("dst"), payload.get("kind"),
+                 event.ts)
+            )
+        elif kind == "msg.send":
+            self._on_send(event, payload)
+
+    def _on_readmit(self, event: TraceEvent, payload: Dict[str, Any]) -> None:
+        pid = event.subject
+        self._readmissions += 1
+        opened = self._open.pop(pid, None)
+        if opened is None:
+            self.violation(
+                "quarantine.readmit_without_quarantine",
+                pid,
+                f"{pid} readmitted without an open quarantine episode",
+                evidence=[event],
+            )
+            return
+        required = payload.get("required")
+        probes = payload.get("probes")
+        streak = self._ok_streak.get(pid, 0)
+        if required is not None and (
+            probes is None or probes < required or streak < required
+        ):
+            self.violation(
+                "quarantine.readmit_without_probes",
+                pid,
+                f"{pid} readmitted after {streak} consecutive successful "
+                f"probes (reported {probes!r}) where {required} are "
+                "required — something other than probing reopened the "
+                "breaker",
+                evidence=[opened, event],
+            )
+
+    def _on_send(self, event: TraceEvent, payload: Dict[str, Any]) -> None:
+        dst = payload.get("dst")
+        if dst not in self._open:
+            return
+        kind = payload.get("kind")
+        forbidden = kind in self._FORBIDDEN_ANY or (
+            event.subject == self.leaf_id and kind in self._FORBIDDEN_LEAF
+        )
+        if not forbidden:
+            return
+        if (event.subject, dst, kind, event.ts) in self._retx:
+            # a retransmission of a message issued before the breaker
+            # opened: the control plane finishing in-flight work is not
+            # a fresh assignment
+            self._retx_excused += 1
+            return
+        self.violation(
+            "quarantine.assignment_to_quarantined",
+            event.subject,
+            f"{event.subject} sent {kind!r} to {dst} while {dst} was "
+            "quarantined — quarantined peers must be excluded from "
+            "selection, repair, and adaptation",
+            evidence=[self._open[dst], event],
+        )
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "episodes": self._episodes,
+            "readmissions": self._readmissions,
+            "retransmits_excused": self._retx_excused,
+        }
+
+
 @register_auditor("duplicate_effect")
 class DuplicateEffectAuditor(Auditor):
     """Idempotence of the coordination planes under duplicating links.
@@ -911,6 +1063,7 @@ DEFAULT_AUDITORS = (
     "causal",
     "detector",
     "duplicate_effect",
+    "quarantine",
 )
 
 

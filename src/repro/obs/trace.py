@@ -24,6 +24,8 @@ category   kinds
            ``peer.stream_start``
 ``wave``   ``wave.start`` ``wave.end`` (flooding-wave δ-rounds)
 ``detector`` ``detector.suspect`` ``detector.confirm``
+``health`` ``health.quarantine`` ``health.probe`` ``health.readmit``
+           (the gray-failure circuit breaker's state changes)
 ``buffer`` ``buffer.underrun`` ``buffer.overrun``
            ``buffer.skip`` (playback gave a stalled packet up)
 ``recoord`` ``recoord.reissue``

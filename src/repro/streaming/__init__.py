@@ -28,12 +28,14 @@ from repro.streaming.contents_peer import ContentsPeerAgent
 from repro.streaming.leaf_peer import LeafPeerAgent
 from repro.streaming.session import SessionResult, StreamingSession
 from repro.streaming.spec import (
+    DetectorSpec,
     LatencySpec,
     LinkFaultSpec,
     LossSpec,
     ProtocolSpec,
     SessionSpec,
     available_factories,
+    register_detector,
     register_latency,
     register_link_fault,
     register_loss,
@@ -45,11 +47,13 @@ from repro.streaming.faults import (
     CrashFault,
     DegradeFault,
     FaultPlan,
+    FlapFault,
     LinkCut,
     PartitionEvent,
     PartitionPlan,
 )
 from repro.streaming.detector import DetectorPolicy, FailureDetector, Heartbeat
+from repro.streaming.health import HealthMonitor, HealthPolicy, QuarantineRecord
 from repro.streaming.recoordination import HandoffRecord, ReCoordinator
 from repro.streaming.repair import RepairMonitor, RepairPolicy, RepairRequest
 from repro.streaming.adaptive import (
@@ -69,10 +73,14 @@ __all__ = [
     "CrashFault",
     "DegradeFault",
     "DetectorPolicy",
+    "DetectorSpec",
     "FailureDetector",
     "FaultPlan",
+    "FlapFault",
     "HandoffPlan",
     "HandoffRecord",
+    "HealthMonitor",
+    "HealthPolicy",
     "Heartbeat",
     "LatencySpec",
     "LeafPeerAgent",
@@ -84,6 +92,7 @@ __all__ = [
     "Phase",
     "PlaybackBuffer",
     "ProtocolSpec",
+    "QuarantineRecord",
     "ReCoordinator",
     "RepairMonitor",
     "RepairPolicy",
@@ -93,6 +102,7 @@ __all__ = [
     "Stream",
     "StreamingSession",
     "available_factories",
+    "register_detector",
     "register_latency",
     "register_link_fault",
     "register_loss",

@@ -94,10 +94,13 @@ class RateAdaptationMonitor:
         shortfall = stream.nominal_rate - stream.current_rate
         if shortfall <= 0:
             return  # pragma: no cover - guarded by the threshold test
+        health = session.health
         candidates = [
             pid
             for pid in session.peer_ids
-            if pid != agent.peer_id and not session.peers[pid].crashed
+            if pid != agent.peer_id
+            and not session.peers[pid].crashed
+            and (health is None or not health.is_quarantined(pid))
         ]
         if not candidates:
             return

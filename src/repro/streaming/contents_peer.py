@@ -94,6 +94,12 @@ class ContentsPeerAgent:
 
             serve_adapt(self, message.body)
             return
+        if message.kind == "probe":
+            # half-open quarantine probe: answer with an immediate
+            # heartbeat so the leaf observes fresh liveness end-to-end
+            # (through the same possibly-gray link it is judging)
+            self._send_heartbeat()
+            return
         self.session.protocol.handle_peer_message(self, message)
 
     def merge_view(self, other: Sequence[str]) -> None:
@@ -212,6 +218,29 @@ class ContentsPeerAgent:
                     out.add(pkt.label)
         return out
 
+    def _send_heartbeat(self) -> set[int]:
+        """One fire-and-forget heartbeat (residual + done) to the leaf.
+
+        Returns the residual it reported so the periodic loop can stop
+        once the peer owes nothing.  Also answers quarantine probes: a
+        probed peer replies with an immediate heartbeat out of band of
+        its regular cadence.
+        """
+        from repro.streaming.detector import Heartbeat
+
+        session = self.session
+        pending = self.residual_data_seqs()
+        session.overlay.send(
+            self.peer_id,
+            session.leaf.peer_id,
+            "heartbeat",
+            body=Heartbeat(
+                self.peer_id, tuple(sorted(pending)), done=not pending
+            ),
+            size_bytes=32,
+        )
+        return pending
+
     def _heartbeat_loop(self, epoch: int):
         """Emit periodic heartbeats to the leaf while this peer owes data.
 
@@ -221,23 +250,10 @@ class ContentsPeerAgent:
         Heartbeats are fire-and-forget — losing one only costs detection
         sharpness, never correctness.
         """
-        from repro.streaming.detector import Heartbeat
-
-        session = self.session
-        leaf_id = session.leaf.peer_id
-        period = session.detector.period
+        period = self.session.detector.period
         try:
             while not self.node.down and epoch == self._epoch:
-                pending = self.residual_data_seqs()
-                session.overlay.send(
-                    self.peer_id,
-                    leaf_id,
-                    "heartbeat",
-                    body=Heartbeat(
-                        self.peer_id, tuple(sorted(pending)), done=not pending
-                    ),
-                    size_bytes=32,
-                )
+                pending = self._send_heartbeat()
                 if not pending:
                     return
                 yield self.env.timeout(period)

@@ -13,6 +13,12 @@ detect → retransmit → re-coordinate loop:
   ``suspect_misses`` heartbeat periods of silence and *confirmed* failed
   after ``confirm_misses`` periods; confirmation triggers re-coordination
   (see :mod:`repro.streaming.recoordination`);
+* in ``mode="accrual"`` the fixed thresholds are replaced by a φ-accrual
+  score (Hayashibara et al.): a sliding window of inter-heartbeat gaps
+  estimates the arrival distribution, ``φ = -log10 P(a later heartbeat)``
+  grows continuously with silence, and ``phi_suspect``/``phi_confirm``
+  become the two levels — on a jittery (gray) link the window widens and
+  the detector automatically becomes more patient;
 * the reliable control plane reports unreachable destinations
   (:meth:`FailureDetector.report_unreachable`), so a peer that dies before
   ever contacting the leaf is still detected;
@@ -25,8 +31,9 @@ detector scales with the control-latency regime like everything else.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.session import StreamingSession
@@ -46,9 +53,22 @@ class Heartbeat:
     done: bool = False
 
 
+#: recognized suspicion policies: fixed miss counting vs φ-accrual
+DETECTOR_MODES = ("fixed", "accrual")
+
+
 @dataclass(frozen=True)
 class DetectorPolicy:
-    """Tuning knobs for the leaf's failure detector."""
+    """Tuning knobs for the leaf's failure detector.
+
+    ``mode="fixed"`` (the original, compatibility behaviour) suspects
+    after ``suspect_misses`` silent periods and confirms after
+    ``confirm_misses``.  ``mode="accrual"`` scores silence continuously:
+    a window of the last ``window`` inter-heartbeat gaps estimates the
+    arrival distribution and a peer is suspected/confirmed when its φ
+    crosses ``phi_suspect``/``phi_confirm``.  The fixed-miss thresholds
+    remain the bootstrap rule while the window is still filling.
+    """
 
     #: heartbeat emission / detector check period, in δ units
     heartbeat_period_deltas: float = 1.0
@@ -61,6 +81,14 @@ class DetectorPolicy:
     idle_grace_deltas: float = 20.0
     #: confirmed failures trigger mid-stream re-coordination
     recoordinate: bool = True
+    #: suspicion policy: "fixed" miss counting or "accrual" φ scoring
+    mode: str = "fixed"
+    #: φ level at which a peer becomes suspected (accrual mode)
+    phi_suspect: float = 1.0
+    #: φ level at which a suspect is confirmed failed (≥ phi_suspect)
+    phi_confirm: float = 3.0
+    #: inter-heartbeat gaps kept per peer for the φ estimate
+    window: int = 8
 
     def __post_init__(self) -> None:
         if self.heartbeat_period_deltas <= 0:
@@ -71,6 +99,17 @@ class DetectorPolicy:
             raise ValueError("confirm_misses must be >= suspect_misses")
         if self.idle_grace_deltas <= 0:
             raise ValueError("idle_grace_deltas must be positive")
+        if self.mode not in DETECTOR_MODES:
+            raise ValueError(
+                f"unknown detector mode {self.mode!r} "
+                f"(one of: {', '.join(DETECTOR_MODES)})"
+            )
+        if self.phi_suspect <= 0:
+            raise ValueError("phi_suspect must be positive")
+        if self.phi_confirm < self.phi_suspect:
+            raise ValueError("phi_confirm must be >= phi_suspect")
+        if self.window < 2:
+            raise ValueError("window must hold at least 2 gap samples")
 
 
 @dataclass
@@ -87,6 +126,10 @@ class PeerHealth:
     done: bool = False
     suspected_at: Optional[float] = None
     confirmed_at: Optional[float] = None
+    #: arrival time of the peer's most recent heartbeat (gap sampling)
+    last_heartbeat_at: Optional[float] = None
+    #: sliding window of inter-heartbeat gaps feeding the φ estimate
+    gaps: List[float] = field(default_factory=list)
 
     @property
     def suspected(self) -> bool:
@@ -140,6 +183,34 @@ class FailureDetector:
             if 1 <= seq <= decoder.n_packets and not decoder.has_data(seq)
         }
 
+    def phi(self, peer_id: str) -> Optional[float]:
+        """Current φ suspicion score of a peer, or None while the
+        inter-heartbeat window is still bootstrapping (< 2 gap samples).
+
+        ``φ = -log10 P(a heartbeat still arrives after this much
+        silence)`` under a normal fit of the observed gaps; φ ≈ 1 means
+        ~90% confident the peer is gone, φ ≈ 3 means ~99.9%.  Purely
+        deterministic — no RNG draws.
+        """
+        st = self.monitored.get(peer_id)
+        if st is None:
+            return None
+        return self._phi(st, self.session.env.now)
+
+    def _phi(self, st: PeerHealth, now: float) -> Optional[float]:
+        gaps = st.gaps
+        if len(gaps) < 2:
+            return None
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # floor the spread: a metronome-regular window must not make one
+        # late heartbeat look like certain death
+        std = max(math.sqrt(var), 0.25 * self.period, 1e-9)
+        silent = now - st.last_heard
+        z = (silent - mean) / (std * math.sqrt(2.0))
+        p_later = max(0.5 * math.erfc(z), 1e-15)
+        return -math.log10(p_later)
+
     # ------------------------------------------------------------------
     # event feeds
     # ------------------------------------------------------------------
@@ -173,6 +244,14 @@ class FailureDetector:
         st = self._entry(hb.sender)
         if st is None:
             return
+        now = self.session.env.now
+        if st.last_heartbeat_at is not None:
+            gap = now - st.last_heartbeat_at
+            if gap > 0:
+                st.gaps.append(gap)
+                if len(st.gaps) > self.policy.window:
+                    del st.gaps[: len(st.gaps) - self.policy.window]
+        st.last_heartbeat_at = now
         st.pending = set(hb.pending)
         st.done = hb.done and not hb.pending
 
@@ -217,16 +296,29 @@ class FailureDetector:
                     continue
                 watching = True
                 silent = now - st.last_heard
-                if not st.suspected and silent >= pol.suspect_misses * self.period:
-                    self._suspect(pid, st)
-                if st.suspected and silent >= pol.confirm_misses * self.period:
-                    self._confirm(pid, st)
+                phi = (
+                    self._phi(st, now) if pol.mode == "accrual" else None
+                )
+                if phi is not None:
+                    if not st.suspected and phi >= pol.phi_suspect:
+                        self._suspect(pid, st, phi=phi)
+                    if st.suspected and phi >= pol.phi_confirm:
+                        self._confirm(pid, st)
+                else:
+                    # fixed mode — or accrual still bootstrapping its
+                    # gap window: fall back to the miss-count thresholds
+                    if not st.suspected and silent >= pol.suspect_misses * self.period:
+                        self._suspect(pid, st)
+                    if st.suspected and silent >= pol.confirm_misses * self.period:
+                        self._confirm(pid, st)
             if decoder.complete:
                 return
             if not watching and now - self._last_contact >= idle_grace:
                 return
 
-    def _suspect(self, peer_id: str, st: PeerHealth) -> None:
+    def _suspect(
+        self, peer_id: str, st: PeerHealth, phi: Optional[float] = None
+    ) -> None:
         st.suspected_at = self.session.env.now
         false_accusation = not self.session.peers[peer_id].crashed
         if false_accusation:
@@ -235,7 +327,12 @@ class FailureDetector:
             self.false_suspicions += 1
         tracer = self.session.env.tracer
         if tracer is not None:
-            tracer.emit("detector.suspect", peer_id, false=false_accusation)
+            tracer.emit(
+                "detector.suspect",
+                peer_id,
+                false=false_accusation,
+                phi=round(phi, 3) if phi is not None else None,
+            )
 
     def _confirm(self, peer_id: str, st: PeerHealth) -> None:
         now = self.session.env.now

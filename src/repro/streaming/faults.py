@@ -57,12 +57,39 @@ class DegradeFault:
             raise ValueError("factor must be positive")
 
 
+@dataclass(frozen=True)
+class FlapFault:
+    """Peer ``peer_id`` oscillates up/down: starting at ``at`` it goes
+    down for ``down_for`` ms at the head of every ``period``-ms cycle,
+    ``count`` cycles in total — the gray "flapping" peer that is never
+    down long enough to be cleanly declared crashed, yet never up long
+    enough to deliver its share."""
+
+    peer_id: str
+    at: float
+    down_for: float
+    period: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.down_for <= 0:
+            raise ValueError("down_for must be positive")
+        if self.period <= self.down_for:
+            raise ValueError("period must exceed down_for (the peer "
+                             "needs some uptime per cycle)")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
 @dataclass
 class FaultPlan:
     """A set of faults applied to one session."""
 
     crashes: List[CrashFault] = field(default_factory=list)
     degradations: List[DegradeFault] = field(default_factory=list)
+    flaps: List[FlapFault] = field(default_factory=list)
 
     def crash(self, peer_id: str, at: float) -> "FaultPlan":
         self.crashes.append(CrashFault(peer_id, at))
@@ -70,6 +97,17 @@ class FaultPlan:
 
     def degrade(self, peer_id: str, at: float, factor: float) -> "FaultPlan":
         self.degradations.append(DegradeFault(peer_id, at, factor))
+        return self
+
+    def flap(
+        self,
+        peer_id: str,
+        at: float,
+        down_for: float,
+        period: float,
+        count: int = 1,
+    ) -> "FaultPlan":
+        self.flaps.append(FlapFault(peer_id, at, down_for, period, count))
         return self
 
     def validate(self) -> None:
@@ -92,6 +130,7 @@ class FaultPlan:
         for kind, faults in (
             ("crash", self.crashes),
             ("degrade", self.degradations),
+            ("flap", self.flaps),
         ):
             for fault in faults:
                 key = (kind, fault.peer_id, fault.at)
@@ -113,7 +152,7 @@ class FaultPlan:
         """
         self.validate()
         known = set(session.peers)
-        for fault in [*self.crashes, *self.degradations]:
+        for fault in [*self.crashes, *self.degradations, *self.flaps]:
             if fault.peer_id not in known:
                 raise ValueError(
                     f"fault targets unknown peer {fault.peer_id!r} "
@@ -124,6 +163,8 @@ class FaultPlan:
             session.env.process(self._run_crash(session, fault))
         for fault in self.degradations:
             session.env.process(self._run_degrade(session, fault))
+        for fault in self.flaps:
+            session.env.process(self._run_flap(session, fault))
 
     @staticmethod
     def _run_crash(session: "StreamingSession", fault: CrashFault):
@@ -139,6 +180,38 @@ class FaultPlan:
             if not stream.exhausted:
                 stream.scale_rate(fault.factor)
         session.faults_fired.append(fault)
+
+    @staticmethod
+    def _run_flap(session: "StreamingSession", fault: FlapFault):
+        """Cycle the peer down/up ``count`` times.
+
+        Each leg is logged as a :class:`ChurnEvent` so the ground-truth
+        oracles (``crash_time_of``, the detector/quarantine auditors)
+        see every oscillation; the up leg reuses the crash-recover path
+        (:meth:`~repro.streaming.contents_peer.ContentsPeerAgent.rejoin`),
+        so the peer resumes its unsent residual exactly like a churned
+        peer would.
+        """
+        yield session.env.timeout(fault.at)
+        agent = session.peers[fault.peer_id]
+        for cycle in range(fault.count):
+            if session.leaf.decoder.complete:
+                return
+            if not agent.crashed:
+                agent.node.crash()
+                session.faults_fired.append(
+                    ChurnEvent("crash", fault.peer_id, session.env.now)
+                )
+            yield session.env.timeout(fault.down_for)
+            if session.leaf.decoder.complete:
+                return
+            if agent.crashed:
+                agent.rejoin()
+                session.faults_fired.append(
+                    ChurnEvent("rejoin", fault.peer_id, session.env.now)
+                )
+            if cycle + 1 < fault.count:
+                yield session.env.timeout(fault.period - fault.down_for)
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,8 @@ class LeafPeerAgent:
         self.dedup = DedupWindow()
         #: arrival times of every media packet (for rate measurement)
         self.arrival_times: list[float] = []
+        #: media packets received per source peer (health throughput)
+        self.arrivals_by_src: dict[str, int] = {}
         #: data arrivals that jumped ahead of a gap — violations of §2's
         #: packet-allocation property (0 under a correct allocation)
         self.order_violations = 0
@@ -110,6 +112,9 @@ class LeafPeerAgent:
                 "media.rx", self.peer_id, label=pkt.label, src=message.src
             )
         self.arrival_times.append(now)
+        self.arrivals_by_src[message.src] = (
+            self.arrivals_by_src.get(message.src, 0) + 1
+        )
         if self.first_arrival is None:
             self.first_arrival = now
         self.last_arrival = now

@@ -67,6 +67,15 @@ class ReCoordinator:
     # ------------------------------------------------------------------
     def handle_failure(self, peer_id: str) -> None:
         """Detector-confirmed failure: re-flood the residual, if any."""
+        self.reissue_residual(peer_id)
+
+    def reissue_residual(self, peer_id: str) -> None:
+        """Re-flood whatever the peer still owes to picked survivors.
+
+        Shared by the confirm path and the health monitor's proactive
+        quarantine handoff — a quarantined peer's residual moves *before*
+        any crash confirmation.
+        """
         session = self.session
         detector = session.detector
         assert detector is not None
@@ -108,12 +117,14 @@ class ReCoordinator:
         session = self.session
         detector = session.detector
         suspects = detector.suspects if detector is not None else set()
+        health = session.health
         candidates = [
             pid
             for pid in session.peer_ids
             if pid != failed
             and pid not in suspects
             and not session.peers[pid].crashed
+            and (health is None or not health.is_quarantined(pid))
         ]
         if not candidates:
             return []

@@ -111,13 +111,19 @@ class RepairMonitor:
             return
         self.rounds_issued += 1
         peers = session.peer_ids
+        avoid: set[str] = set()
         if session.detector is not None:
             # skip peers the failure detector already considers dead —
-            # requests to them are silence by construction.  Fall back to
-            # the full list if suspicion covers everyone (a false mass
-            # suspicion must not starve repair entirely).
-            suspects = session.detector.suspects
-            filtered = [p for p in peers if p not in suspects]
+            # requests to them are silence by construction.
+            avoid |= session.detector.suspects
+        if session.health is not None:
+            # likewise skip quarantined peers: they are alive but gray,
+            # and repair traffic through them defeats the circuit breaker
+            avoid |= set(session.health.quarantined)
+        if avoid:
+            # Fall back to the full list if suspicion + quarantine cover
+            # everyone (a false mass accusation must not starve repair).
+            filtered = [p for p in peers if p not in avoid]
             if filtered:
                 peers = filtered
         k = min(self.policy.fanout, len(peers))

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.audit import AuditConfig, AuditReport, Auditor
     from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
+    from repro.streaming.health import HealthMonitor
     from repro.streaming.repair import RepairMonitor, RepairPolicy
     from repro.streaming.spec import SessionSpec
 
@@ -92,6 +93,15 @@ class SessionResult:
     link_duplicates_suppressed: int = 0
     #: packets playback abandoned under the buffer's skip policy
     playback_skips: int = 0
+    # --- gray-failure / quarantine metrics -------------------------------
+    #: circuit-breaker trips performed by the health monitor
+    quarantines: int = 0
+    #: quarantined peers readmitted after half-open probe successes
+    readmissions: int = 0
+    #: quarantines of peers with no injected fault of any kind
+    false_quarantines: int = 0
+    #: peers still quarantined at collection time
+    quarantined_peers: List[str] = field(default_factory=list)
     # --- observability handles (present only when tracing was enabled) ---
     #: the session's :class:`~repro.obs.trace.TraceBus`, finalized — or,
     #: after :meth:`detach`, its exported JSON-able dict form
@@ -266,6 +276,7 @@ class StreamingSession:
     def _setup(self, spec: "SessionSpec") -> None:
         """The one true constructor: materialize ``spec`` into a session."""
         from repro.streaming.spec import (
+            resolve_detector_policy,
             resolve_latency,
             resolve_link_fault_factory,
             resolve_loss_factory,
@@ -287,7 +298,7 @@ class StreamingSession:
         leaf_receive_buffer = spec.leaf_receive_buffer
         peer_capacities = spec.peer_capacities
         retransmit_policy = spec.retransmit_policy
-        detector_policy = spec.detector_policy
+        detector_policy = resolve_detector_policy(spec.detector_policy)
         churn_plan = spec.churn_plan
         trace = spec.trace
         audit = spec.audit
@@ -397,6 +408,13 @@ class StreamingSession:
             self.adaptation_monitor = RateAdaptationMonitor(
                 self, adaptation_policy
             )
+        self.health: Optional["HealthMonitor"] = None
+        if spec.health_policy is not None:
+            from repro.streaming.health import HealthMonitor
+
+            # raises when no detector is configured: quarantine judges
+            # peers by the detector's evidence (φ, residuals, last_heard)
+            self.health = HealthMonitor(self, spec.health_policy)
         if self.trace_bus is not None:
             self.trace_bus.participants = [self.leaf.peer_id, *self.peer_ids]
             if trace.metrics:
@@ -499,6 +517,8 @@ class StreamingSession:
             assignment = getattr(body, "assignment", None)
             if assignment is not None:
                 self.detector.expect(dst, data_seqs_of(assignment))
+                if self.health is not None:
+                    self.health.note_promise(dst, assignment.rate)
         if reliable and self.control_plane is not None:
             self.control_plane.send(src, dst, kind, body, size)
         else:
@@ -706,6 +726,22 @@ class StreamingSession:
                 traffic.link_dupes_suppressed_by_kind.values()
             ),
             playback_skips=self.leaf.buffer.skips,
+            quarantines=(
+                self.health.quarantines if self.health is not None else 0
+            ),
+            readmissions=(
+                self.health.readmissions if self.health is not None else 0
+            ),
+            false_quarantines=(
+                self.health.false_quarantines
+                if self.health is not None
+                else 0
+            ),
+            quarantined_peers=(
+                sorted(self.health.quarantined)
+                if self.health is not None
+                else []
+            ),
             trace=self.trace_bus,
             timeseries=timeseries,
             audit=self._audit_report,

@@ -71,9 +71,11 @@ from repro.net.latency import (
 from repro.net.linkfault import (
     CompositeFault,
     DuplicateFault,
+    LatencySpikeFault,
     LinkFault,
     ReorderFault,
     SeverWindow,
+    StutterFault,
 )
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
@@ -82,22 +84,26 @@ from repro.obs.trace import TraceConfig
 from repro.streaming.adaptive import RateAdaptationPolicy
 from repro.streaming.detector import DetectorPolicy
 from repro.streaming.faults import ChurnPlan, FaultPlan, PartitionPlan
+from repro.streaming.health import HealthPolicy
 from repro.streaming.repair import RepairPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.session import SessionResult, StreamingSession
 
 __all__ = [
+    "DetectorSpec",
     "LatencySpec",
     "LinkFaultSpec",
     "LossSpec",
     "ProtocolSpec",
     "SessionSpec",
     "available_factories",
+    "register_detector",
     "register_latency",
     "register_link_fault",
     "register_loss",
     "register_protocol",
+    "resolve_detector_policy",
     "resolve_latency",
     "resolve_link_fault_factory",
     "resolve_loss_factory",
@@ -113,6 +119,7 @@ _REGISTRIES: Dict[str, Dict[str, Callable[..., Any]]] = {
     "loss": {},
     "protocol": {},
     "link_fault": {},
+    "detector": {},
 }
 
 
@@ -167,6 +174,16 @@ def register_link_fault(name: str, factory=None):
     return _register("link_fault", name, factory)
 
 
+def register_detector(name: str, factory=None):
+    """Register a failure-detector policy factory (usable as a decorator).
+
+    The factory's keyword parameters become the ``params`` of a
+    :class:`DetectorSpec` and it must return a
+    :class:`~repro.streaming.detector.DetectorPolicy`.
+    """
+    return _register("detector", name, factory)
+
+
 def _get_factory(category: str, name: str) -> Callable[..., Any]:
     registry = _REGISTRIES[category]
     try:
@@ -181,7 +198,7 @@ def _get_factory(category: str, name: str) -> Callable[..., Any]:
 
 def available_factories(category: str) -> list[str]:
     """Registered factory names for ``'latency'``/``'loss'``/
-    ``'protocol'``/``'link_fault'``."""
+    ``'protocol'``/``'link_fault'``/``'detector'``."""
     return sorted(_REGISTRIES[category])
 
 
@@ -212,6 +229,8 @@ def _bursty_loss(rate: float, mean_burst: float = 3.0) -> LossModel:
 register_link_fault("duplicate", DuplicateFault)
 register_link_fault("reorder", ReorderFault)
 register_link_fault("sever", SeverWindow)
+register_link_fault("stutter", StutterFault)
+register_link_fault("spike", LatencySpikeFault)
 
 
 @register_link_fault("chaos")
@@ -234,6 +253,42 @@ def _chaos_fault(
     if len(stages) == 1:
         return stages[0]
     return CompositeFault(tuple(stages))
+
+
+@register_link_fault("gray")
+def _gray_fault(
+    stall: float = 0.0,
+    period: float = 10.0,
+    spike_p: float = 0.0,
+    magnitude: float = 10.0,
+    start: float = 0.0,
+) -> LinkFault:
+    """Stuttering stalls + latency spikes in one pipeline — the gray
+    link that delivers everything, late and in bursts, while the peer
+    behind it stays perfectly alive."""
+    stages: list[LinkFault] = []
+    if stall > 0:
+        stages.append(StutterFault(period=period, stall=stall, start=start))
+    if spike_p > 0:
+        stages.append(LatencySpikeFault(p=spike_p, magnitude=magnitude))
+    if not stages:
+        raise ValueError("gray fault needs stall > 0 or spike_p > 0")
+    if len(stages) == 1:
+        return stages[0]
+    return CompositeFault(tuple(stages))
+
+
+# built-in failure-detector policies
+@register_detector("fixed")
+def _fixed_detector(**params) -> DetectorPolicy:
+    """The seed's fixed miss-count policy (compatibility mode)."""
+    return DetectorPolicy(mode="fixed", **params)
+
+
+@register_detector("accrual")
+def _accrual_detector(**params) -> DetectorPolicy:
+    """φ-accrual suspicion over a sliding inter-heartbeat-gap window."""
+    return DetectorPolicy(mode="accrual", **params)
 
 
 # built-in coordination protocols
@@ -314,6 +369,23 @@ class LinkFaultSpec:
 
 
 @dataclass(frozen=True)
+class DetectorSpec:
+    """A registered detector policy by name, e.g. ``DetectorSpec(
+    "accrual", {"phi_suspect": 1.0, "phi_confirm": 3.0})``.
+
+    Declarative twin of passing a
+    :class:`~repro.streaming.detector.DetectorPolicy` directly; factories
+    registered via :func:`register_detector` extend the vocabulary.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> DetectorPolicy:
+        return _get_factory("detector", self.kind)(**dict(self.params))
+
+
+@dataclass(frozen=True)
 class ProtocolSpec:
     """A registered coordination protocol by name, e.g.
     ``ProtocolSpec("single_source", {"server_id": "CP1"})``."""
@@ -332,6 +404,7 @@ ProtocolLike = Union[
 LatencyLike = Union[LatencySpec, LatencyModel]
 LossLike = Union[LossSpec, Callable[[], LossModel]]
 LinkFaultLike = Union[LinkFaultSpec, Callable[[], LinkFault]]
+DetectorLike = Union[DetectorSpec, DetectorPolicy]
 
 
 def resolve_protocol(value: ProtocolLike) -> CoordinationProtocol:
@@ -385,6 +458,20 @@ def resolve_loss_factory(
     raise TypeError(
         f"cannot build a loss factory from {type(value).__name__}; pass "
         "a LossSpec or a zero-arg callable"
+    )
+
+
+def resolve_detector_policy(
+    value: Optional[DetectorLike],
+) -> Optional[DetectorPolicy]:
+    """Materialize the ``detector_policy`` field of a spec."""
+    if value is None or isinstance(value, DetectorPolicy):
+        return value
+    if isinstance(value, DetectorSpec):
+        return value.build()
+    raise TypeError(
+        f"cannot build a detector policy from {type(value).__name__}; "
+        "pass a DetectorSpec or a DetectorPolicy instance"
     )
 
 
@@ -452,7 +539,10 @@ class SessionSpec:
     leaf_receive_buffer: float = 64.0
     peer_capacities: Optional[Dict[str, float]] = None
     retransmit_policy: Optional[RetransmitPolicy] = None
-    detector_policy: Optional[DetectorPolicy] = None
+    #: failure detection; a policy instance or a declarative DetectorSpec
+    detector_policy: Optional[DetectorLike] = None
+    #: gray-failure quarantine (requires a detector_policy)
+    health_policy: Optional[HealthPolicy] = None
     churn_plan: Optional[ChurnPlan] = None
     trace: Optional[TraceConfig] = None
     #: online protocol auditors; implies a default trace when none is set

@@ -197,3 +197,51 @@ def test_unknown_experiment_rejected():
 def test_experiment_argument_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_detector_and_retransmit_flags_accepted(tmp_path, capsys):
+    rc = main(
+        [
+            "trace", "--protocol", "dcop", "--quick",
+            "--n", "8", "--H", "3",
+            "--detector", "accrual:phi_suspect=1.5,window=16",
+            "--retransmit", "adaptive=1,jitter=0.5",
+            "--trace-out", str(tmp_path / "t.json"),
+        ]
+    )
+    assert rc == 0
+    assert "coordination timeline" in capsys.readouterr().out
+
+
+def test_unknown_detector_name_fails_with_exit_2(capsys):
+    rc = main(["trace", "--protocol", "dcop", "--detector", "bogus"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown detector" in err
+    assert "accrual" in err  # the error lists what IS available
+
+
+def test_bad_detector_params_fail_with_exit_2(capsys):
+    rc = main(
+        ["trace", "--protocol", "dcop", "--detector", "accrual:nope=3"]
+    )
+    assert rc == 2
+    assert "bad --detector" in capsys.readouterr().err
+
+
+def test_bad_retransmit_values_fail_with_exit_2(capsys):
+    # field exists but value violates the policy invariant
+    rc = main(
+        ["trace", "--protocol", "dcop", "--retransmit", "backoff=0.5"]
+    )
+    assert rc == 2
+    assert "bad --retransmit" in capsys.readouterr().err
+    # unknown field
+    rc = main(
+        ["trace", "--protocol", "dcop", "--retransmit", "warp=9"]
+    )
+    assert rc == 2
+    # malformed pair (no '=')
+    rc = main(["trace", "--protocol", "dcop", "--retransmit", "adaptive"])
+    assert rc == 2
+    assert "expected key=value" in capsys.readouterr().err

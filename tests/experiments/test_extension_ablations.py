@@ -63,3 +63,17 @@ def test_hetero_flooding_same_ctrl_cost():
         series.series("hetero_completed_at")[1]
         <= series.series("dcop_completed_at")[1]
     )
+
+
+def test_gray_ablation_breaker_never_costs_receipt():
+    from repro.experiments import run_gray
+
+    series = run_gray(protocols=["dcop", "tcop", "ams"])
+    assert len(series) == 3
+    on = series.series("receipt_on")
+    off = series.series("receipt_off")
+    assert all(a >= b for a, b in zip(on, off))
+    assert all(d == 1.0 for d in series.series("delivery_on"))
+    assert all(f == 0 for f in series.series("false_quarantines"))
+    # the gauntlet actually trips the breaker somewhere
+    assert sum(series.series("quarantines")) >= 1

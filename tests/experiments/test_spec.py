@@ -229,3 +229,37 @@ def test_detach_is_idempotent_and_a_noop_without_handles():
     traced = SessionSpec(config=_small_config(), trace=TraceConfig()).run()
     detached = traced.detach()
     assert detached.detach() is detached
+
+
+def test_detector_registry_resolves_policies():
+    from repro.streaming.detector import DetectorPolicy
+    from repro.streaming.spec import (
+        DetectorSpec,
+        available_factories,
+        resolve_detector_policy,
+    )
+
+    assert {"fixed", "accrual"} <= set(available_factories("detector"))
+    pol = DetectorSpec("accrual", {"phi_suspect": 1.5}).build()
+    assert pol.mode == "accrual"
+    assert pol.phi_suspect == 1.5
+    # passthroughs and the error path
+    assert resolve_detector_policy(None) is None
+    direct = DetectorPolicy()
+    assert resolve_detector_policy(direct) is direct
+    assert resolve_detector_policy(DetectorSpec("fixed")).mode == "fixed"
+    with pytest.raises(TypeError):
+        resolve_detector_policy("accrual")
+
+
+def test_gray_link_fault_factories_registered():
+    from repro.streaming.spec import LinkFaultSpec, available_factories
+
+    names = set(available_factories("link_fault"))
+    assert {"stutter", "spike", "gray"} <= names
+    for spec in (
+        LinkFaultSpec("stutter", {"period": 80.0, "stall": 16.0}),
+        LinkFaultSpec("spike", {"p": 0.1, "magnitude": 5.0}),
+        LinkFaultSpec("gray", {"stall": 16.0, "period": 80.0, "spike_p": 0.05}),
+    ):
+        assert spec.build() is not None

@@ -185,3 +185,123 @@ def test_control_loss_spares_media_packets():
     env.run()
     assert got == ["packet"]
     assert overlay.traffic.dropped_by_kind["control"] == 1
+
+
+# ----------------------------------------------------------------------
+# RTT estimation + adaptive timeouts
+# ----------------------------------------------------------------------
+def test_rtt_estimator_first_and_smoothed_samples():
+    from repro.net.overlay import RttEstimator
+
+    est = RttEstimator()
+    assert est.rto() is None
+    est.observe(100.0)
+    assert est.srtt == 100.0
+    assert est.rttvar == 50.0
+    assert est.rto() == pytest.approx(300.0)
+    est.observe(200.0)
+    # classic gains: RTTVAR' = 3/4·50 + 1/4·|100-200|, SRTT' = 7/8·100 + 1/8·200
+    assert est.rttvar == pytest.approx(62.5)
+    assert est.srtt == pytest.approx(112.5)
+    assert est.samples == 2
+    with pytest.raises(ValueError):
+        est.observe(-1.0)
+
+
+def test_clean_acks_feed_the_estimator():
+    env, overlay, plane = build()
+    wire(overlay, plane, "b", [])
+    wire(overlay, plane, "a", [])
+    assert plane.srtt_of("b") is None
+    plane.send("a", "b", "control")
+    env.run()
+    assert plane.srtt_of("b") is not None and plane.srtt_of("b") > 0
+    assert plane.rtt["b"].samples == 1
+    assert plane.srtt_of("nobody") is None
+
+
+def test_karn_rule_discards_retransmitted_samples():
+    """The first copy is swallowed (no ack), the retransmission is acked:
+    the round-trip is ambiguous and must never reach the estimator."""
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(max_retries=3, ack_timeout_deltas=1.0)
+    )
+    wire(overlay, plane, "a", [])
+    copies = []
+
+    def on_deliver(message):
+        copies.append(message)
+        if len(copies) == 1:
+            return  # drop the first copy silently — no ack flows back
+        plane.intercept(message)
+
+    overlay.nodes["b"].on_deliver = on_deliver
+    plane.send("a", "b", "control")
+    env.run()
+    assert len(copies) >= 2  # a retransmission happened
+    assert plane._pending == {}  # and its ack cleared the send
+    assert plane.srtt_of("b") is None  # but Karn kept the sample out
+
+
+def test_adaptive_timeout_tracks_and_clamps_rto():
+    from repro.net.overlay import RttEstimator
+
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(
+            adaptive=True,
+            ack_timeout_deltas=2.5,
+            min_timeout_deltas=1.0,
+            max_timeout_deltas=10.0,
+        ),
+        delta=10.0,
+    )
+    # cold start: no sample toward b yet — fixed ack timeout applies
+    assert plane._timeout_for("b") == pytest.approx(25.0)
+    est = plane.rtt["b"] = RttEstimator()
+    est.observe(5.0)  # RTO = 5 + 4·2.5 = 15, inside [10, 100]
+    assert plane._timeout_for("b") == pytest.approx(15.0)
+    est.srtt, est.rttvar = 0.5, 0.1  # RTO 0.9 → clamped up to 1δ
+    assert plane._timeout_for("b") == pytest.approx(10.0)
+    est.srtt, est.rttvar = 400.0, 10.0  # RTO 440 → clamped down to 10δ
+    assert plane._timeout_for("b") == pytest.approx(100.0)
+
+
+def test_non_adaptive_policy_ignores_rtt():
+    from repro.net.overlay import RttEstimator
+
+    env, overlay, plane = build(delta=10.0)
+    est = plane.rtt["b"] = RttEstimator()
+    est.observe(1.0)
+    assert plane._timeout_for("b") == pytest.approx(25.0)
+
+
+def test_full_jitter_dealigns_equal_policy_senders():
+    """Many sends queued at t=0 toward a dead peer: their first
+    retransmissions must spread across [1-j/2, 1+j/2]·timeout instead of
+    piling onto one instant (the retry-storm fix)."""
+    env, overlay, plane = build(
+        policy=RetransmitPolicy(
+            max_retries=1, ack_timeout_deltas=1.0, jitter=1.0
+        ),
+        delta=10.0,
+        seed=3,
+    )
+    overlay.nodes["b"].crash()
+    times = []
+    original = overlay.send
+
+    def spy(src, dst, kind, **kw):
+        if kind != "ack" and env.now > 0:
+            times.append(env.now)
+        return original(src, dst, kind, **kw)
+
+    overlay.send = spy
+    for _ in range(40):
+        plane.send("a", "b", "control")
+    env.run()
+    assert len(times) == 40
+    # full jitter with j=1: waits live in [5, 15] and use both halves
+    assert all(5.0 <= t <= 15.0 for t in times)
+    assert min(times) < 9.0
+    assert max(times) > 11.0
+    assert len(set(times)) > 10  # genuinely spread, not a few buckets

@@ -64,7 +64,7 @@ def test_figure_shaped_runs_pass_all_auditors(protocol):
     assert report.warning_count == 0
     assert sorted(report.auditors) == [
         "allocation", "causal", "detector", "duplicate_effect",
-        "parity", "tree",
+        "parity", "quarantine", "tree",
     ]
     # every auditor actually consumed the stream
     assert all(e["events_seen"] > 0 for e in report.auditors.values())
@@ -336,3 +336,85 @@ def test_violations_surface_as_bus_events_with_evidence():
     assert payload["code"] == "alloc.double_assignment"
     assert payload["about"] == "CP2"
     assert len(payload["evidence"]) == 2
+
+
+# ----------------------------------------------------------------------
+# quarantine auditor
+# ----------------------------------------------------------------------
+def test_quarantine_auditor_flags_assignment_and_bad_readmit():
+    from repro.obs.audit import QuarantineAuditor
+
+    auditor = QuarantineAuditor()
+    feed(
+        auditor,
+        ("health.quarantine", "CP3",
+         {"reasons": "phi", "phi": 2.1, "false": False}),
+        # forbidden: repair routed to a quarantined destination
+        ("msg.send", "CP7", {"dst": "CP3", "kind": "repair"}),
+        # forbidden: fresh leaf assignment while the breaker is open
+        ("msg.send", "leaf", {"dst": "CP3", "kind": "start"}),
+        # allowed: the breaker's own half-open traffic
+        ("msg.send", "leaf", {"dst": "CP3", "kind": "probe"}),
+        ("msg.send", "CP3", {"dst": "leaf", "kind": "heartbeat"}),
+        # readmitted with zero successful probes on record
+        ("health.readmit", "CP3", {"probes": 0, "required": 2}),
+    )
+    codes = sorted(v.code for v in auditor.violations)
+    assert codes == [
+        "quarantine.assignment_to_quarantined",
+        "quarantine.assignment_to_quarantined",
+        "quarantine.readmit_without_probes",
+    ]
+    assert auditor.extra()["episodes"] == 1
+
+
+def test_quarantine_auditor_passes_probed_readmission():
+    from repro.obs.audit import QuarantineAuditor
+
+    auditor = QuarantineAuditor()
+    feed(
+        auditor,
+        ("health.quarantine", "CP3",
+         {"reasons": "rtt,throughput", "phi": None, "false": False}),
+        ("health.probe", "CP3", {"ok": True, "successes": 1, "required": 2}),
+        ("health.probe", "CP3", {"ok": True, "successes": 2, "required": 2}),
+        ("health.readmit", "CP3", {"probes": 2, "required": 2}),
+        # after readmission the peer is assignable again
+        ("msg.send", "leaf", {"dst": "CP3", "kind": "start"}),
+    )
+    assert auditor.violations == []
+    assert auditor.extra()["readmissions"] == 1
+
+
+def test_quarantine_auditor_excuses_in_flight_retransmits():
+    from repro.obs.audit import QuarantineAuditor
+
+    auditor = QuarantineAuditor()
+    feed(
+        auditor,
+        ("health.quarantine", "CP3",
+         {"reasons": "phi", "phi": 3.0, "false": False}),
+        # the control plane finishing pre-quarantine work: excused
+        ("msg.retransmit", "leaf",
+         {"dst": "CP3", "kind": "start", "attempt": 2}),
+        ("msg.send", "leaf", {"dst": "CP3", "kind": "start"}),
+    )
+    assert auditor.violations == []
+    assert auditor.extra()["retransmits_excused"] == 1
+
+
+def test_quarantine_auditor_flags_false_quarantine_and_orphan_probe():
+    from repro.obs.audit import QuarantineAuditor
+
+    auditor = QuarantineAuditor()
+    feed(
+        auditor,
+        ("health.probe", "CP9", {"ok": True, "successes": 1, "required": 2}),
+        ("health.quarantine", "CP3",
+         {"reasons": "phi", "phi": 1.2, "false": True}),
+    )
+    codes = sorted(v.code for v in auditor.violations)
+    assert codes == [
+        "quarantine.false_quarantine",
+        "quarantine.probe_outside_episode",
+    ]

@@ -215,3 +215,105 @@ def test_detector_repr():
     s = session()
     assert "FailureDetector" in repr(s.detector)
     assert isinstance(s.detector, FailureDetector)
+
+
+# ----------------------------------------------------------------------
+# accrual (φ) mode
+# ----------------------------------------------------------------------
+def test_accrual_policy_validation():
+    with pytest.raises(ValueError):
+        DetectorPolicy(mode="bogus")
+    with pytest.raises(ValueError):
+        DetectorPolicy(mode="accrual", phi_suspect=0)
+    with pytest.raises(ValueError):
+        DetectorPolicy(mode="accrual", phi_suspect=3.0, phi_confirm=1.0)
+    with pytest.raises(ValueError):
+        DetectorPolicy(mode="accrual", window=1)
+
+
+def test_phi_is_none_while_bootstrapping():
+    s = session(policy=DetectorPolicy(mode="accrual"))
+    det = s.detector
+    assert det.phi("CP1") is None  # unmonitored
+    det.on_heartbeat(Heartbeat("CP1", ()))
+    assert det.phi("CP1") is None  # zero gaps
+    det.monitored["CP1"].gaps.append(8.0)
+    assert det.phi("CP1") is None  # one gap — still < 2 samples
+
+
+def test_phi_grows_monotonically_with_silence():
+    from repro.streaming.detector import PeerHealth
+
+    s = session(policy=DetectorPolicy(mode="accrual"))
+    det = s.detector
+    st = PeerHealth(last_heard=100.0, gaps=[8.0, 8.0, 8.0, 8.0])
+    scores = [det._phi(st, 100.0 + silent) for silent in (0, 8, 12, 16)]
+    assert all(b > a for a, b in zip(scores, scores[1:]))
+    # fresh contact keeps φ harmless; two periods of silence is
+    # near-certain death on a metronome-regular window
+    assert scores[0] < 0.5
+    assert scores[-1] > 3.0
+
+
+def test_phi_jittery_window_is_more_patient():
+    """Same silence, wider gap distribution ⇒ lower φ: on a gray link the
+    detector automatically slows down instead of false-accusing."""
+    from repro.streaming.detector import PeerHealth
+
+    s = session(policy=DetectorPolicy(mode="accrual"))
+    det = s.detector
+    tight = PeerHealth(last_heard=0.0, gaps=[8.0, 8.0, 8.0, 8.0])
+    jittery = PeerHealth(last_heard=0.0, gaps=[2.0, 14.0, 3.0, 13.0])
+    for silent in (16.0, 24.0, 32.0):
+        assert det._phi(jittery, silent) < det._phi(tight, silent)
+
+
+def test_gap_window_trims_to_policy():
+    s = session(policy=DetectorPolicy(mode="accrual", window=3))
+    det = s.detector
+    st = det._entry("CP1")
+    for i in range(1, 8):
+        # back-date the previous heartbeat so each arrival (env.now == 0)
+        # contributes a positive gap of i ms
+        st.last_heartbeat_at = -float(i)
+        det.on_heartbeat(Heartbeat("CP1", ()))
+    assert st.gaps == [5.0, 6.0, 7.0]
+
+
+def test_zero_gap_heartbeats_are_not_sampled():
+    """Two heartbeats in the same instant must not poison the window with
+    a zero gap (which would collapse the mean)."""
+    s = session(policy=DetectorPolicy(mode="accrual"))
+    det = s.detector
+    det.on_heartbeat(Heartbeat("CP1", ()))
+    det.on_heartbeat(Heartbeat("CP1", ()))  # same env.now
+    assert det.monitored["CP1"].gaps == []
+
+
+def test_accrual_confirms_crash_end_to_end():
+    """With φ thresholds driving suspicion, a mid-stream crash is still
+    confirmed and re-coordinated to full delivery."""
+    cfg = config(fault_margin=0, content_packets=200)
+    probe = StreamingSession(cfg, DCoP())
+    victim = probe.leaf_select(cfg.H)[0]
+    s = StreamingSession(
+        cfg,
+        DCoP(),
+        fault_plan=FaultPlan().crash(victim, 50.0),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(mode="accrual"),
+    )
+    r = s.run()
+    assert victim in r.confirmed_failures
+    assert r.delivery_ratio == 1.0
+    assert r.detection_latencies[victim] > 0
+
+
+def test_accrual_matches_fixed_on_clean_runs():
+    """No faults: neither mode suspects anybody, and both deliver fully."""
+    fixed = session(policy=DetectorPolicy(mode="fixed")).run()
+    accrual = session(policy=DetectorPolicy(mode="accrual")).run()
+    for r in (fixed, accrual):
+        assert r.suspected_peers == []
+        assert r.confirmed_failures == []
+        assert r.delivery_ratio == 1.0
