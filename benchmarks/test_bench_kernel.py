@@ -1,0 +1,93 @@
+"""Bench KERNEL — event-kernel scaling matrix (peers × packets).
+
+Each cell runs one profiled DCoP session and records the simulator's own
+cost model: events processed, peak heap depth and cancelled-event waste
+(trajectory-derived, deterministic under equal seeds — exact-compared by
+``repro.experiments.regress``), plus events-per-wall-second throughput
+(machine-dependent, key contains ``wall`` so it stays informational
+unless explicitly gated via ``regress --gate-scalar``).  This is the
+baseline any future kernel-speed work (see ROADMAP) must move.
+"""
+
+from repro.core.base import ProtocolConfig
+from repro.obs.prof import ProfileConfig
+from repro.streaming.spec import ProtocolSpec, SessionSpec
+
+#: (contents peers, content packets) — grows each axis separately
+MATRIX = [
+    (10, 200),
+    (25, 400),
+    (50, 400),
+    (100, 400),
+    (100, 800),
+    (200, 400),
+]
+
+
+def _run_cell(n: int, packets: int):
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=n,
+            H=min(n, 60),
+            fault_margin=1,
+            seed=0,
+            content_packets=packets,
+        ),
+        protocol=ProtocolSpec("dcop", {}),
+        profile=ProfileConfig(),
+    )
+    return spec.run()
+
+
+def test_bench_kernel_scaling(benchmark, bench_scalars):
+    results = benchmark.pedantic(
+        lambda: [(n, p, _run_cell(n, p)) for n, p in MATRIX],
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        f"{'n':>5} {'packets':>8} {'events':>8} {'heap':>6} "
+        f"{'cancelled':>10} {'ev/wall-s':>10} {'attributed':>11}"
+    )
+    total_events = 0
+    total_wall = 0.0
+    for n, p, result in results:
+        profile = result.profile
+        print(
+            f"{n:>5} {p:>8} {profile.events_processed:>8} "
+            f"{profile.heap_peak:>6} {profile.cancelled_events:>10} "
+            f"{profile.events_per_wall_s:>10,.0f} "
+            f"{profile.attributed_share:>11.1%}"
+        )
+        cell = f"n{n}_p{p}"
+        bench_scalars[f"events_{cell}"] = profile.events_processed
+        bench_scalars[f"heap_peak_{cell}"] = profile.heap_peak
+        bench_scalars[f"cancelled_{cell}"] = profile.cancelled_events
+        bench_scalars[f"events_per_wall_s_{cell}"] = round(
+            profile.events_per_wall_s, 1
+        )
+        total_events += profile.events_processed
+        total_wall += profile.wall_s
+    bench_scalars["events_per_wall_s_total"] = round(
+        total_events / total_wall, 1
+    )
+
+    # streaming itself must be healthy in every cell
+    assert all(result.delivery_ratio == 1.0 for _n, _p, result in results)
+    # the profiler's ledger accounts for (nearly) all dispatch time
+    assert all(
+        result.profile.attributed_share >= 0.95
+        for _n, _p, result in results
+    )
+    # event volume and heap pressure grow with the overlay (p=400 axis)
+    n_axis = [
+        (n, result.profile)
+        for n, p, result in results
+        if p == 400
+    ]
+    events = [profile.events_processed for _n, profile in n_axis]
+    heaps = [profile.heap_peak for _n, profile in n_axis]
+    assert events == sorted(events) and len(set(events)) == len(events)
+    assert heaps == sorted(heaps) and len(set(heaps)) == len(heaps)

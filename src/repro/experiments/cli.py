@@ -346,9 +346,53 @@ def _run_audit(args) -> int:
     return 0 if report.passed else 1
 
 
+def _run_perf(args) -> int:
+    """``perf`` subcommand: one profiled session + profile exporters."""
+    import dataclasses
+
+    from repro.obs import write_chrome_trace, write_collapsed
+    from repro.obs.prof import ProfileConfig
+
+    spec = _build_session_spec(args)
+    if isinstance(spec, int):
+        return spec
+    spec = dataclasses.replace(spec, profile=ProfileConfig())
+    result = spec.run()
+    profile = result.profile
+    assert profile is not None and not isinstance(profile, dict)
+
+    print(result.summary())
+    print(profile.summary(top=args.top))
+
+    protocol_name, _ = _parse_model_spec(args.protocol)
+    profile_out = _ensure_parent(
+        args.profile_out or f"profile_{protocol_name}.json"
+    )
+    profile.write(profile_out)
+    print(f"wrote profile report to {profile_out}", file=sys.stderr)
+    if args.collapsed_out:
+        write_collapsed(profile, _ensure_parent(args.collapsed_out))
+        print(
+            f"wrote collapsed stacks to {args.collapsed_out} "
+            "(feed to flamegraph.pl / speedscope)",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        assert result.trace is not None
+        write_chrome_trace(
+            result.trace, _ensure_parent(args.trace_out), profile=profile
+        )
+        print(
+            f"wrote Chrome trace-event JSON (+ counter tracks) to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_regress(args) -> int:
     """``regress`` subcommand: diff fresh artifacts against a baseline."""
-    from repro.experiments.regress import compare_dirs
+    from repro.experiments.regress import compare_dirs, parse_scalar_gate
 
     if args.fresh is None:
         return _fail("regress needs --fresh DIR (the artifacts to gate)")
@@ -357,8 +401,18 @@ def _run_regress(args) -> int:
     for label, directory in (("baseline", baseline), ("fresh", fresh)):
         if not directory.is_dir():
             return _fail(f"{label} directory not found: {directory}")
+    gate_scalars = {}
+    for text in args.gate_scalar or ():
+        try:
+            key, gate = parse_scalar_gate(text)
+        except ValueError as exc:
+            return _fail(str(exc))
+        gate_scalars[key] = gate
     report = compare_dirs(
-        baseline, fresh, wall_tolerance=args.wall_tolerance
+        baseline,
+        fresh,
+        wall_tolerance=args.wall_tolerance,
+        gate_scalars=gate_scalars or None,
     )
     print(report.render())
     if args.report_out:
@@ -382,12 +436,12 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "fig10", "fig11", "fig12", "ablations", "all",
-            "trace", "audit", "regress",
+            "trace", "audit", "perf", "regress",
         ],
         help=(
             "which figure/ablation to run, 'trace' for one traced run, "
-            "'audit' to run the protocol auditors, 'regress' to diff "
-            "artifact directories"
+            "'audit' to run the protocol auditors, 'perf' for one "
+            "profiled run, 'regress' to diff artifact directories"
         ),
     )
     parser.add_argument(
@@ -501,6 +555,26 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the audit/regress report as JSON",
     )
+    perf_group = parser.add_argument_group(
+        "perf", "options for the 'perf' subcommand"
+    )
+    perf_group.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="profile-report JSON output (default profile_<protocol>.json)",
+    )
+    perf_group.add_argument(
+        "--collapsed-out",
+        metavar="PATH",
+        help="also dump collapsed stacks for flamegraph tooling",
+    )
+    perf_group.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hottest callback sites to list in the summary (default 10)",
+    )
     regress_group = parser.add_argument_group(
         "regress", "options for the 'regress' subcommand"
     )
@@ -523,12 +597,25 @@ def main(argv: list[str] | None = None) -> int:
             "(default 0.5 = +50%%)"
         ),
     )
+    regress_group.add_argument(
+        "--gate-scalar",
+        action="append",
+        metavar="KEY:TOL%[:min|max]",
+        help=(
+            "hard-gate a (perf) scalar with a relative tolerance; 'min' "
+            "(default) fails a drop below baseline*(1-TOL), 'max' fails "
+            "a rise above baseline*(1+TOL); repeatable, e.g. "
+            "events_per_wall_s_n100_p400:25%%"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
         return _run_trace(args)
     if args.experiment == "audit":
         return _run_audit(args)
+    if args.experiment == "perf":
+        return _run_perf(args)
     if args.experiment == "regress":
         return _run_regress(args)
 

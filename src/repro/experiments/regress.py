@@ -13,6 +13,10 @@ sweep doubles as a perf *and* correctness regression gate:
   ``cpu_count``, ``jobs`` — machine-dependent, reported but never
   failing) and result scalars (rounds, rates, counts — deterministic
   under equal seeds, compared within a small epsilon);
+* **gated scalars** (opt-in, ``gate_scalars=`` / ``--gate-scalar``) turn
+  selected perf scalars into *hard* gates with a relative tolerance —
+  the mechanism that holds the line on ``BENCH_kernel`` events/sec
+  without affecting any other baseline;
 * **audit reports** regress when a fresh run fails, or shows violations
   where the baseline had none.
 
@@ -24,14 +28,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "RegressReport",
     "Regression",
+    "ScalarGate",
     "compare_audit_reports",
     "compare_bench",
     "compare_dirs",
+    "parse_scalar_gate",
 ]
 
 #: scalar-name fragments that mark a value as machine-dependent perf data
@@ -41,6 +47,70 @@ _PERF_KEY_HINTS = ("wall", "speedup", "cpu", "jobs", "elapsed")
 def _is_perf_key(name: str) -> bool:
     lowered = name.lower()
     return any(hint in lowered for hint in _PERF_KEY_HINTS)
+
+
+@dataclass(frozen=True)
+class ScalarGate:
+    """A hard gate on one bench scalar: relative tolerance + direction.
+
+    ``mode="min"`` (the default, throughput semantics) regresses when the
+    fresh value drops below ``baseline · (1 − tolerance)``;
+    ``mode="max"`` (latency/wall semantics) regresses when it rises above
+    ``baseline · (1 + tolerance)``.
+    """
+
+    tolerance: float
+    mode: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("gate tolerance must be >= 0")
+        if self.mode not in ("min", "max"):
+            raise ValueError(f"gate mode must be 'min' or 'max', not {self.mode!r}")
+
+    def violates(self, base: float, fresh: float) -> bool:
+        if self.mode == "min":
+            return fresh < base * (1 - self.tolerance)
+        return fresh > base * (1 + self.tolerance)
+
+    def bound_text(self, base: float) -> str:
+        if self.mode == "min":
+            return f">= {base * (1 - self.tolerance):.6g} (-{self.tolerance:.0%})"
+        return f"<= {base * (1 + self.tolerance):.6g} (+{self.tolerance:.0%})"
+
+
+def parse_scalar_gate(text: str) -> Tuple[str, ScalarGate]:
+    """``KEY:TOL%[:min|max]`` → ``(key, ScalarGate)``.
+
+    ``TOL`` accepts a percentage (``25%``) or a fraction (``0.25``); the
+    optional trailing mode defaults to ``min`` (fresh must not *drop*
+    more than TOL below the baseline — the events/sec case).
+    """
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or not parts[0]:
+        raise ValueError(
+            f"bad scalar gate {text!r} (expected KEY:TOL% or "
+            "KEY:TOL%:min|max, e.g. events_per_wall_s_n100_p400:25%)"
+        )
+    key, raw_tol = parts[0], parts[1]
+    try:
+        tol = (
+            float(raw_tol[:-1]) / 100.0
+            if raw_tol.endswith("%")
+            else float(raw_tol)
+        )
+    except ValueError:
+        raise ValueError(
+            f"bad tolerance {raw_tol!r} in scalar gate {text!r}"
+        ) from None
+    mode = parts[2] if len(parts) == 3 else "min"
+    return key, ScalarGate(tolerance=tol, mode=mode)
+
+
+def _as_gate(value: Union["ScalarGate", float]) -> "ScalarGate":
+    if isinstance(value, ScalarGate):
+        return value
+    return ScalarGate(tolerance=float(value))
 
 
 @dataclass(frozen=True)
@@ -112,6 +182,7 @@ def compare_bench(
     wall_tolerance: float = 0.5,
     scalar_eps: float = 1e-9,
     artifact: Optional[str] = None,
+    gate_scalars: Optional[Mapping[str, Union[ScalarGate, float]]] = None,
 ) -> RegressReport:
     """Diff two ``BENCH_<name>.json`` payloads.
 
@@ -119,10 +190,16 @@ def compare_bench(
     exceed the baseline by up to ``baseline · (1 + tolerance)`` before it
     counts as a regression (being *faster* never fails).  Result scalars
     must match within ``scalar_eps``; perf-flavored scalars are
-    informational.
+    informational — unless named in ``gate_scalars`` (key → gate, a
+    :class:`ScalarGate` or a bare ``min``-mode tolerance), which turns
+    that scalar into a hard relative gate in *both* payload directions
+    (machine-dependent, so never exact-compared).
     """
     if wall_tolerance < 0:
         raise ValueError("wall_tolerance must be >= 0")
+    gates: Dict[str, ScalarGate] = {
+        key: _as_gate(gate) for key, gate in (gate_scalars or {}).items()
+    }
     name = artifact or f"BENCH_{baseline.get('bench', '?')}"
     report = RegressReport(compared=[name])
 
@@ -167,6 +244,49 @@ def compare_bench(
         for key in sorted(base_scalars):
             base_value = base_scalars[key]
             fresh_value = fresh_scalars.get(key)
+            gate = gates.get(key)
+            if gate is not None:
+                if not isinstance(base_value, (int, float)) or isinstance(
+                    base_value, bool
+                ):
+                    report.entries.append(
+                        Regression(
+                            name,
+                            "gated_scalar",
+                            f"{test}.{key}: baseline {base_value!r} is not "
+                            "numeric, cannot gate",
+                        )
+                    )
+                elif fresh_value is None:
+                    report.entries.append(
+                        Regression(
+                            name,
+                            "gated_scalar",
+                            f"{test}.{key} missing from the fresh run "
+                            f"(baseline {base_value!r}, gated)",
+                        )
+                    )
+                elif gate.violates(float(base_value), float(fresh_value)):
+                    report.entries.append(
+                        Regression(
+                            name,
+                            "gated_scalar",
+                            f"{test}.{key}: {fresh_value!r} violates gate "
+                            f"{gate.bound_text(float(base_value))} "
+                            f"(baseline {base_value!r})",
+                        )
+                    )
+                else:
+                    report.entries.append(
+                        Regression(
+                            name,
+                            "gated_scalar",
+                            f"{test}.{key}: {fresh_value!r} within gate "
+                            f"{gate.bound_text(float(base_value))}",
+                            severity="info",
+                        )
+                    )
+                continue
             if _is_perf_key(key):
                 if fresh_value != base_value:
                     report.entries.append(
@@ -271,6 +391,7 @@ def compare_dirs(
     fresh_dir: Union[str, Path],
     wall_tolerance: float = 0.5,
     scalar_eps: float = 1e-9,
+    gate_scalars: Optional[Mapping[str, Union[ScalarGate, float]]] = None,
 ) -> RegressReport:
     """Pair artifacts by file name across two directories and diff them.
 
@@ -278,7 +399,8 @@ def compare_dirs(
     payload declares ``"type": "audit_report"`` via
     :func:`compare_audit_reports`.  Baseline artifacts with no fresh
     counterpart regress (a vanished bench is a silent coverage loss);
-    fresh-only artifacts are informational.
+    fresh-only artifacts are informational.  ``gate_scalars`` applies to
+    every bench comparison (keys absent from a bench are simply unused).
     """
     base_dir = Path(baseline_dir)
     new_dir = Path(fresh_dir)
@@ -320,6 +442,7 @@ def compare_dirs(
                     wall_tolerance=wall_tolerance,
                     scalar_eps=scalar_eps,
                     artifact=name,
+                    gate_scalars=gate_scalars,
                 )
             )
     for name in sorted(set(fresh_files) - set(base_files)):

@@ -14,7 +14,10 @@ untouched.
   and run-summary JSON;
 * :mod:`repro.obs.timeline` — per-wave coordination timelines;
 * :mod:`repro.obs.audit` — online protocol auditors checking the paper's
-  invariants against the live event stream, with JSON audit reports.
+  invariants against the live event stream, with JSON audit reports;
+* :mod:`repro.obs.prof` — the instrumenting simulator profiler:
+  wall-time attribution by subsystem/callback site/event kind, scheduler
+  and resource telemetry, flamegraph and Perfetto-counter export.
 """
 
 from repro.obs.audit import (
@@ -41,13 +44,17 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.prof import ProfileConfig, ProfileReport, SimProfiler
 from repro.obs.trace import CONTROL_KINDS, TraceBus, TraceConfig, TraceEvent
 from repro.obs.timeline import wave_timeline
 from repro.obs.exporters import (
+    profile_counter_events,
+    profile_to_collapsed,
     run_summary,
     trace_to_chrome,
     trace_to_jsonl,
     write_chrome_trace,
+    write_collapsed,
     write_jsonl,
     write_run_summary,
 )
@@ -67,6 +74,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ParityAuditor",
+    "ProfileConfig",
+    "ProfileReport",
+    "SimProfiler",
     "TraceBus",
     "TraceConfig",
     "TraceEvent",
@@ -74,6 +84,8 @@ __all__ = [
     "Violation",
     "available_auditors",
     "build_auditors",
+    "profile_counter_events",
+    "profile_to_collapsed",
     "register_auditor",
     "replay_jsonl",
     "run_summary",
@@ -82,6 +94,7 @@ __all__ = [
     "trace_to_jsonl",
     "wave_timeline",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
     "write_run_summary",
 ]

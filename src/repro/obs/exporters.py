@@ -1,6 +1,6 @@
 """Trace and run-artifact exporters.
 
-Three formats:
+Four formats:
 
 * **JSONL** — one event per line, keys sorted; byte-identical across
   equal-seed runs, so dumps diff cleanly and the determinism tests can
@@ -8,9 +8,14 @@ Three formats:
 * **Chrome trace-event JSON** — loads in ``chrome://tracing`` and
   `Perfetto <https://ui.perfetto.dev>`_; every peer (and the leaf) gets
   its own named track, flooding waves render as duration slices on a
-  dedicated ``waves`` track;
+  dedicated ``waves`` track, and when a
+  :class:`~repro.obs.prof.ProfileReport` is supplied its scheduler
+  samples render as **counter tracks** (heap depth, events processed)
+  alongside the event tracks;
+* **collapsed stacks** — a profiled run's site attribution in the
+  flamegraph.pl / speedscope / inferno text format;
 * **run summary** — the :class:`SessionResult`, the sampled time series,
-  and trace statistics as one artifact document via
+  trace statistics, and any profile as one artifact document via
   :mod:`repro.metrics.io`.
 """
 
@@ -21,6 +26,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.prof import ProfileReport
     from repro.obs.trace import TraceBus, TraceEvent
     from repro.streaming.session import SessionResult
 
@@ -56,13 +62,21 @@ def write_jsonl(bus: "TraceBus", path: Union[str, Path]) -> None:
 # ----------------------------------------------------------------------
 # Chrome trace_event format
 # ----------------------------------------------------------------------
-def trace_to_chrome(bus: "TraceBus") -> Dict[str, Any]:
+def trace_to_chrome(
+    bus: "TraceBus", profile: Optional["ProfileReport"] = None
+) -> Dict[str, Any]:
     """Convert to the Chrome ``trace_event`` JSON object format.
 
     Layout: pid 1 = the session; each participant (leaf + every contents
     peer) is a thread (track) holding its events as instants; tid 0 is a
     synthetic ``waves`` track where each flooding round ``r`` appears as a
     complete (``X``) slice spanning ``wave.start`` → ``wave.end``.
+
+    With a ``profile`` (a profiled run's
+    :class:`~repro.obs.prof.ProfileReport`), the scheduler's
+    deterministic sim-time samples are appended as Perfetto **counter
+    tracks** (``ph: "C"``) — heap depth and cumulative events processed
+    against the same simulated timeline as the event tracks.
     """
     tids: Dict[str, int] = {}
     events: List[Dict[str, Any]] = []
@@ -156,13 +170,65 @@ def trace_to_chrome(bus: "TraceBus") -> Dict[str, Any]:
                 "args": {"round": r, "activated": 0},
             }
         )
+    if profile is not None:
+        events.extend(profile_counter_events(profile))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(bus: "TraceBus", path: Union[str, Path]) -> None:
+def profile_counter_events(profile: "ProfileReport") -> List[Dict[str, Any]]:
+    """A profile's scheduler samples as Chrome/Perfetto counter events.
+
+    Two rails on pid 1: ``heap depth`` (instantaneous) and ``events
+    processed`` (cumulative churn).  Sample positions are dispatch-count
+    based, so equal-seed runs produce identical counter tracks.
+    """
+    counters = profile.counters
+    ts_ms = counters.get("ts_ms", [])
+    events: List[Dict[str, Any]] = []
+    for name, key in (
+        ("heap depth", "heap_depth"),
+        ("events processed", "events_processed"),
+    ):
+        values = counters.get(key, [])
+        for ts, value in zip(ts_ms, values):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "profile",
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": int(round(ts * _US_PER_MS)),
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    bus: "TraceBus",
+    path: Union[str, Path],
+    profile: Optional["ProfileReport"] = None,
+) -> None:
     Path(path).write_text(
-        json.dumps(trace_to_chrome(bus), sort_keys=True, separators=(",", ":"))
+        json.dumps(
+            trace_to_chrome(bus, profile=profile),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
     )
+
+
+# ----------------------------------------------------------------------
+# collapsed stacks (flamegraph input)
+# ----------------------------------------------------------------------
+def profile_to_collapsed(profile: "ProfileReport") -> str:
+    """Collapsed-stack lines (``frame;frame value``) for flamegraph tools."""
+    return profile.to_collapsed()
+
+
+def write_collapsed(profile: "ProfileReport", path: Union[str, Path]) -> None:
+    Path(path).write_text(profile_to_collapsed(profile))
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +252,11 @@ def run_summary(result: "SessionResult") -> Dict[str, Any]:
     audit = result.audit
     if audit is not None:
         summary["audit"] = audit if isinstance(audit, dict) else audit.to_dict()
+    profile = result.profile
+    if profile is not None:
+        summary["profile"] = (
+            profile if isinstance(profile, dict) else profile.to_dict()
+        )
     return summary
 
 

@@ -44,6 +44,13 @@ class Environment:
         #: guards on ``None``, so a trace-less run pays one attribute check
         #: per hook and nothing more.
         self.tracer = None
+        #: performance hook — a :class:`repro.obs.prof.SimProfiler` when
+        #: the owning session enables profiling, ``None`` otherwise.  The
+        #: same opt-in contract as ``tracer``: an unprofiled run pays one
+        #: ``None`` check per schedule/dispatch and nothing more, and the
+        #: profiler itself is passive (no RNG draws, no scheduling), so
+        #: profiled trajectories are byte-identical to unprofiled ones.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -93,6 +100,8 @@ class Environment:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
+        if self.profiler is not None:
+            self.profiler.note_schedule(len(self._queue))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -108,8 +117,15 @@ class Environment:
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        if self.profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            # identical call order and exception propagation, with a
+            # perf_counter bracket around each callback
+            self.profiler.dispatch(
+                self._now, event, callbacks, len(self._queue)
+            )
 
         if not event._ok and not event._defused:
             exc = event._value
@@ -146,6 +162,8 @@ class Environment:
             # process them first; we want the horizon to win, so use a
             # priority that sorts ahead of everything at `horizon`.
             heapq.heappush(self._queue, (horizon, -1, next(self._eid), at_event))
+            if self.profiler is not None:
+                self.profiler.note_schedule(len(self._queue))
             at_event.callbacks.append(StopSimulation.callback)
 
         try:

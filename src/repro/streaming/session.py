@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.audit import AuditConfig, AuditReport, Auditor
+    from repro.obs.prof import ProfileReport, SimProfiler
     from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
     from repro.streaming.health import HealthMonitor
     from repro.streaming.repair import RepairMonitor, RepairPolicy
@@ -118,6 +119,11 @@ class SessionResult:
     audit: Union["AuditReport", Dict[str, Any], None] = field(
         default=None, repr=False, compare=False
     )
+    #: per-run :class:`~repro.obs.prof.ProfileReport` (present only when
+    #: profiling was enabled) — or, after :meth:`detach`, its dict form
+    profile: Union["ProfileReport", Dict[str, Any], None] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_active(self) -> bool:
@@ -162,9 +168,13 @@ class SessionResult:
         trace = self.trace
         timeseries = self.timeseries
         audit = self.audit
+        profile = self.profile
         detached = False
         if audit is not None and not isinstance(audit, dict):
             audit = audit.to_dict()
+            detached = True
+        if profile is not None and not isinstance(profile, dict):
+            profile = profile.to_dict()
             detached = True
         if isinstance(trace, TraceBus):
             from repro.obs.exporters import event_to_dict
@@ -185,7 +195,11 @@ class SessionResult:
         if not detached:
             return self
         return dataclass_replace(
-            self, trace=trace, timeseries=timeseries, audit=audit
+            self,
+            trace=trace,
+            timeseries=timeseries,
+            audit=audit,
+            profile=profile,
         )
 
 
@@ -317,6 +331,20 @@ class StreamingSession:
         if trace is not None:
             self.trace_bus = TraceBus(trace, self.env)
             self.env.tracer = self.trace_bus
+        # --- performance profiler (opt-in; passive — trajectories are
+        # byte-identical with it on or off) ---------------------------------
+        self.profiler: Optional["SimProfiler"] = None
+        profile = spec.profile
+        if profile is not None and profile is not False:
+            from repro.obs.prof import ProfileConfig, SimProfiler
+
+            if profile is True:
+                profile = ProfileConfig()
+            self.profiler = SimProfiler(profile)
+            self.env.profiler = self.profiler
+            if self.trace_bus is not None:
+                # meter trace recording as its own subsystem ("tracing")
+                self.profiler.instrument_trace_bus(self.trace_bus)
         latency_factory = None
         if latency is None:
             # Default: each directed pair gets a constant latency drawn once
@@ -620,7 +648,14 @@ class StreamingSession:
         if not self._initiated:
             self.protocol.initiate(self)
             self._initiated = True
-        self.env.run(until=until)
+        if self.profiler is not None:
+            self.profiler.start()
+            try:
+                self.env.run(until=until)
+            finally:
+                self.profiler.stop()
+        else:
+            self.env.run(until=until)
         return self._collect()
 
     def _collect(self) -> SessionResult:
@@ -745,6 +780,11 @@ class StreamingSession:
             trace=self.trace_bus,
             timeseries=timeseries,
             audit=self._audit_report,
+            profile=(
+                self.profiler.report(self)
+                if self.profiler is not None
+                else None
+            ),
         )
 
     def __repr__(self) -> str:

@@ -80,6 +80,7 @@ from repro.net.linkfault import (
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
 from repro.obs.audit import AuditConfig
+from repro.obs.prof import ProfileConfig
 from repro.obs.trace import TraceConfig
 from repro.streaming.adaptive import RateAdaptationPolicy
 from repro.streaming.detector import DetectorPolicy
@@ -547,6 +548,9 @@ class SessionSpec:
     trace: Optional[TraceConfig] = None
     #: online protocol auditors; implies a default trace when none is set
     audit: Optional[AuditConfig] = None
+    #: the instrumenting performance profiler (``True`` for defaults);
+    #: passive — profiled runs follow byte-identical trajectories
+    profile: Union[ProfileConfig, bool, None] = None
 
     #: legacy ``StreamingSession`` kwarg → spec field renames
     _KWARG_ALIASES = {

@@ -189,6 +189,101 @@ def test_regress_subcommand_gates_artifacts(tmp_path, capsys):
     capsys.readouterr()
 
 
+def test_perf_subcommand_profiles_a_run(tmp_path, capsys):
+    import json
+
+    profile_out = tmp_path / "profile.json"
+    collapsed_out = tmp_path / "stacks.collapsed"
+    trace_out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "perf", "--protocol", "tcop", "--quick",
+            "--n", "12", "--H", "4",
+            "--profile-out", str(profile_out),
+            "--collapsed-out", str(collapsed_out),
+            "--trace-out", str(trace_out),
+            "--top", "3",
+        ]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    # the headline digest plus exactly --top hottest-site lines
+    assert "attributed" in printed
+    assert sum(1 for line in printed.splitlines() if "calls" in line) == 3
+    # the profile report round-trips from disk
+    doc = json.loads(profile_out.read_text())
+    assert doc["type"] == "profile_report"
+    assert doc["protocol"] == "TCoP"
+    assert doc["attributed_share"] >= 0.95
+    # collapsed stacks: every line is "repro;<subsystem>;<site> <µs>"
+    lines = collapsed_out.read_text().splitlines()
+    assert lines and all(
+        line.startswith("repro;") and line.rsplit(" ", 1)[1].isdigit()
+        for line in lines
+    )
+    # the chrome trace gained the profiler's counter tracks
+    chrome = json.loads(trace_out.read_text())
+    counters = {
+        e["name"] for e in chrome["traceEvents"] if e["ph"] == "C"
+    }
+    assert counters == {"heap depth", "events processed"}
+
+
+def test_perf_subcommand_default_output_name(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc = main(["perf", "--protocol", "dcop", "--quick", "--n", "8", "--H", "4"])
+    assert rc == 0
+    capsys.readouterr()
+    assert (tmp_path / "profile_dcop.json").exists()
+
+
+def test_regress_gate_scalar_flag(tmp_path, capsys):
+    import json
+
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+
+    def payload(throughput):
+        return {
+            "bench": "kernel", "total_wall_s": 1.0,
+            "tests": {"t": {"wall_s": 1.0, "scalars": {
+                "events_per_wall_s_total": throughput,
+            }}},
+        }
+
+    (base / "BENCH_kernel.json").write_text(json.dumps(payload(1000.0)))
+    (fresh / "BENCH_kernel.json").write_text(json.dumps(payload(500.0)))
+    # ungated: the throughput collapse is informational only
+    rc = main(["regress", "--baseline", str(base), "--fresh", str(fresh)])
+    assert rc == 0
+    capsys.readouterr()
+    # gated: the same collapse fails the run
+    rc = main(
+        [
+            "regress", "--baseline", str(base), "--fresh", str(fresh),
+            "--gate-scalar", "events_per_wall_s_total:25%",
+        ]
+    )
+    assert rc == 1
+    assert "gated_scalar" in capsys.readouterr().out
+    # within tolerance passes, and a malformed gate exits 2
+    rc = main(
+        [
+            "regress", "--baseline", str(base), "--fresh", str(fresh),
+            "--gate-scalar", "events_per_wall_s_total:60%",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "regress", "--baseline", str(base), "--fresh", str(fresh),
+            "--gate-scalar", "no-tolerance",
+        ]
+    ) == 2
+    capsys.readouterr()
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])

@@ -6,9 +6,11 @@ import pytest
 
 from repro.experiments.regress import (
     RegressReport,
+    ScalarGate,
     compare_audit_reports,
     compare_bench,
     compare_dirs,
+    parse_scalar_gate,
 )
 
 
@@ -87,6 +89,79 @@ def test_perf_scalars_are_informational_only():
     assert report.ok
     assert any(e.severity == "info" and e.kind == "scalar"
                for e in report.entries)
+
+
+# ----------------------------------------------------------------------
+# gated scalars
+# ----------------------------------------------------------------------
+def test_gated_scalar_fails_on_drop_beyond_tolerance():
+    base = bench(scalars={"events_per_wall_s": 1000.0, "rounds": 9})
+    within = bench(scalars={"events_per_wall_s": 800.0, "rounds": 9})
+    beyond = bench(scalars={"events_per_wall_s": 700.0, "rounds": 9})
+    gates = {"events_per_wall_s": ScalarGate(tolerance=0.25)}
+    # ungated, the perf scalar never fails no matter how far it drops
+    assert compare_bench(base, beyond).ok
+    assert compare_bench(base, within, gate_scalars=gates).ok
+    report = compare_bench(base, beyond, gate_scalars=gates)
+    assert not report.ok
+    assert report.failures[0].kind == "gated_scalar"
+    # a rise never fails a min-gate, and a bare float means min-mode
+    faster = bench(scalars={"events_per_wall_s": 5000.0, "rounds": 9})
+    assert compare_bench(
+        base, faster, gate_scalars={"events_per_wall_s": 0.25}
+    ).ok
+
+
+def test_gated_scalar_max_mode_fails_on_rise():
+    base = bench(scalars={"p95_wall_ms": 100.0})
+    gates = {"p95_wall_ms": ScalarGate(tolerance=0.10, mode="max")}
+    assert compare_bench(
+        base, bench(scalars={"p95_wall_ms": 105.0}), gate_scalars=gates
+    ).ok
+    assert not compare_bench(
+        base, bench(scalars={"p95_wall_ms": 115.0}), gate_scalars=gates
+    ).ok
+    # dropping (getting faster) never fails a max-gate
+    assert compare_bench(
+        base, bench(scalars={"p95_wall_ms": 1.0}), gate_scalars=gates
+    ).ok
+
+
+def test_gated_scalar_missing_or_non_numeric_fails():
+    base = bench(scalars={"events_per_wall_s": 1000.0})
+    gates = {"events_per_wall_s": ScalarGate(tolerance=0.25)}
+    report = compare_bench(base, bench(scalars={}), gate_scalars=gates)
+    assert not report.ok and report.failures[0].kind == "gated_scalar"
+    bad_base = bench(scalars={"events_per_wall_s": "fast"})
+    report = compare_bench(bad_base, base, gate_scalars=gates)
+    assert not report.ok and "not numeric" in report.failures[0].detail
+
+
+def test_parse_scalar_gate_grammar():
+    key, gate = parse_scalar_gate("events_per_wall_s_total:25%")
+    assert key == "events_per_wall_s_total"
+    assert gate == ScalarGate(tolerance=0.25, mode="min")
+    assert parse_scalar_gate("k:0.1:max")[1] == ScalarGate(0.1, "max")
+    for bad in ("nope", ":25%", "k:junk%", "k:10%:sideways", "k:-5%"):
+        with pytest.raises(ValueError):
+            parse_scalar_gate(bad)
+
+
+def test_compare_dirs_threads_gate_scalars(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    (base / "BENCH_demo.json").write_text(
+        json.dumps(bench(scalars={"events_per_wall_s": 1000.0}))
+    )
+    (fresh / "BENCH_demo.json").write_text(
+        json.dumps(bench(scalars={"events_per_wall_s": 100.0}))
+    )
+    assert compare_dirs(base, fresh).ok
+    report = compare_dirs(
+        base, fresh, gate_scalars={"events_per_wall_s": 0.25}
+    )
+    assert not report.ok
+    assert report.failures[0].kind == "gated_scalar"
 
 
 # ----------------------------------------------------------------------

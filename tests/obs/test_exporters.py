@@ -169,3 +169,80 @@ def test_run_summary_without_trace_is_result_only():
     result = StreamingSession(config, DCoP()).run()
     summary = run_summary(result)
     assert set(summary) == {"result"}
+
+
+# ----------------------------------------------------------------------
+# golden file: the full Chrome document, byte for byte
+# ----------------------------------------------------------------------
+def _golden_spec():
+    from repro.obs.prof import ProfileConfig
+    from repro.streaming.spec import ProtocolSpec, SessionSpec
+
+    return SessionSpec(
+        config=ProtocolConfig(
+            n=6, H=3, fault_margin=1, content_packets=40, seed=3
+        ),
+        protocol=ProtocolSpec("tcop", {}),
+        trace=TraceConfig(categories=frozenset({"wave", "peer"})),
+        profile=ProfileConfig(sample_every=64),
+    )
+
+
+def test_chrome_trace_matches_golden_file():
+    """The committed golden pins the exporter's whole output format:
+    metadata (process + one named track per participant + the waves
+    track), wave slices, instants, and the profile counter tracks.  A
+    deliberate format change regenerates the file (see its sibling
+    README); anything else failing here is a silent format or
+    determinism regression.
+    """
+    from pathlib import Path
+
+    golden_path = Path(__file__).parent / "data" / "golden_chrome_tcop.json"
+    result = _golden_spec().run()
+    doc = trace_to_chrome(result.trace, profile=result.profile)
+    assert doc == json.loads(golden_path.read_text())
+
+
+def test_chrome_profile_counter_tracks(traced_result):
+    """Counter events land on the metadata track and mirror the
+    profiler's deterministic sample arrays."""
+    from repro.obs import profile_counter_events
+    from repro.obs.prof import ProfileConfig
+    from repro.streaming.spec import ProtocolSpec, SessionSpec
+
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=12, H=4, fault_margin=1, content_packets=100, seed=5
+        ),
+        protocol=ProtocolSpec("tcop", {}),
+        trace=TraceConfig(),
+        profile=ProfileConfig(),
+    )
+    result = spec.run()
+    profile = result.profile
+    counters = profile_counter_events(profile)
+    by_name = {}
+    for event in counters:
+        assert event["ph"] == "C"
+        assert event["pid"] == 1 and event["tid"] == 0
+        assert event["cat"] == "profile"
+        assert isinstance(event["ts"], int)
+        by_name.setdefault(event["name"], []).append(event)
+    assert set(by_name) == {"heap depth", "events processed"}
+    samples = profile.counters
+    assert [e["args"]["value"] for e in by_name["heap depth"]] == samples[
+        "heap_depth"
+    ]
+    assert [
+        e["args"]["value"] for e in by_name["events processed"]
+    ] == samples["events_processed"]
+    # the profiled document embeds them; the plain one does not
+    doc = trace_to_chrome(result.trace, profile=profile)
+    assert [e for e in doc["traceEvents"] if e["ph"] == "C"] == counters
+    plain = trace_to_chrome(result.trace)
+    assert not [e for e in plain["traceEvents"] if e["ph"] == "C"]
+    # an unprofiled trace is unchanged by passing profile=None
+    assert trace_to_chrome(traced_result.trace, profile=None) == trace_to_chrome(
+        traced_result.trace
+    )
