@@ -20,23 +20,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.metrics.stats import nearest_rank_percentile as percentile
+
+__all__ = ["REDUCED_HS", "percentile"]
+
 REDUCED_HS = [2, 5, 10, 20, 40, 60, 80, 100]
-
-
-def percentile(values, q):
-    """Nearest-rank percentile (deterministic, no interpolation).
-
-    Benches use this to fold per-cell observations (e.g. failure
-    detection latencies) into the p50/p95 scalars recorded in the
-    ``BENCH_*.json`` artifacts.
-    """
-    if not values:
-        raise ValueError("percentile of an empty sample")
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
-    rank = max(1, -(-q * len(ordered) // 100))  # ceil without floats
-    return ordered[int(rank) - 1]
 
 #: module name -> {test name -> {"wall_s": float, "scalars": {...}}}
 _RECORDS: dict = {}

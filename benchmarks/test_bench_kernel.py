@@ -7,6 +7,19 @@ cost model: events processed, peak heap depth and cancelled-event waste
 (machine-dependent, key contains ``wall`` so it stays informational
 unless explicitly gated via ``regress --gate-scalar``).  This is the
 baseline any future kernel-speed work (see ROADMAP) must move.
+
+Two companion matrices cover the PR-8 kernel overhaul:
+
+* ``test_bench_kernel_batched_media`` — the batched media plane
+  (``SessionSpec.media_batch``) against the per-packet plane on
+  media-dominant topologies, recording simulated-time throughput
+  (``sim_ms_per_wall_s``) and its batched/unbatched speedup.  Batching
+  collapses each per-slot subsequence into one delivery event, so the
+  gain scales with packets-per-stream; deeply divided overlays (DCoP at
+  large H) see none, a single-source firehose sees several-fold.
+* ``test_bench_kernel_scheduler_matrix`` — heap vs calendar scheduler
+  on the largest cell.  Identical trajectories by construction (the
+  equivalence suite pins that); this records the relative wall cost.
 """
 
 from repro.core.base import ProtocolConfig
@@ -68,6 +81,9 @@ def test_bench_kernel_scaling(benchmark, bench_scalars):
         bench_scalars[f"events_per_wall_s_{cell}"] = round(
             profile.events_per_wall_s, 1
         )
+        bench_scalars[f"sim_ms_per_wall_s_{cell}"] = round(
+            profile.sim_ms_per_wall_s, 1
+        )
         total_events += profile.events_processed
         total_wall += profile.wall_s
     bench_scalars["events_per_wall_s_total"] = round(
@@ -91,3 +107,136 @@ def test_bench_kernel_scaling(benchmark, bench_scalars):
     heaps = [profile.heap_peak for _n, profile in n_axis]
     assert events == sorted(events) and len(set(events)) == len(events)
     assert heaps == sorted(heaps) and len(set(heaps)) == len(heaps)
+
+
+# ----------------------------------------------------------------------
+# batched media plane
+# ----------------------------------------------------------------------
+#: (protocol, n, H, packets, media_batch) — media-dominant cells where
+#: per-stream rate × window spans many packets, plus a divided-overlay
+#: cell (tcop) where batches are small and the gain honestly vanishes
+BATCH_MATRIX = [
+    ("single_source", 20, 4, 2000, 2.0),
+    ("single_source", 50, 4, 5000, 5.0),
+    ("tcop", 50, 8, 2000, 5.0),
+]
+
+
+def _run_media_cell(protocol: str, n: int, H: int, packets: int, batch: float):
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=n, H=H, fault_margin=1, seed=0, content_packets=packets
+        ),
+        protocol=ProtocolSpec(protocol, {}),
+        profile=ProfileConfig(),
+        media_batch=batch,
+    )
+    return spec.run()
+
+
+def test_bench_kernel_batched_media(benchmark, bench_scalars):
+    def matrix():
+        out = []
+        for protocol, n, H, packets, batch in BATCH_MATRIX:
+            plain = _run_media_cell(protocol, n, H, packets, 0.0)
+            batched = _run_media_cell(protocol, n, H, packets, batch)
+            out.append((protocol, n, packets, batch, plain, batched))
+        return out
+
+    results = benchmark.pedantic(matrix, rounds=1, iterations=1)
+
+    print()
+    print(
+        f"{'cell':>28} {'events':>8} {'ev(batched)':>12} "
+        f"{'sim-ms/s':>10} {'batched':>10} {'speedup':>8}"
+    )
+    for protocol, n, packets, batch, plain, batched in results:
+        pp, bp = plain.profile, batched.profile
+        speedup = (
+            bp.sim_ms_per_wall_s / pp.sim_ms_per_wall_s
+            if pp.sim_ms_per_wall_s > 0
+            else 0.0
+        )
+        cell = f"{protocol}_n{n}_p{packets}"
+        print(
+            f"{cell + f'@{batch}δ':>28} {pp.events_processed:>8} "
+            f"{bp.events_processed:>12} {pp.sim_ms_per_wall_s:>10,.0f} "
+            f"{bp.sim_ms_per_wall_s:>10,.0f} {speedup:>8.2f}×"
+        )
+        bench_scalars[f"events_{cell}"] = pp.events_processed
+        bench_scalars[f"events_batched_{cell}"] = bp.events_processed
+        # ``wall`` in the key keeps these informational for regress
+        bench_scalars[f"sim_ms_per_wall_s_{cell}"] = round(
+            pp.sim_ms_per_wall_s, 1
+        )
+        bench_scalars[f"sim_ms_per_wall_s_batched_{cell}"] = round(
+            bp.sim_ms_per_wall_s, 1
+        )
+        # simulated peer-milliseconds per wall-second: the scalable-
+        # streaming headline (how much overlay·time one wall-second buys)
+        bench_scalars[f"sim_peer_ms_per_wall_s_batched_{cell}"] = round(
+            n * bp.sim_ms_per_wall_s, 1
+        )
+        bench_scalars[f"batched_speedup_wall_{cell}"] = round(speedup, 2)
+
+    # semantics preserved in every cell, both planes
+    assert all(
+        plain.delivery_ratio == 1.0 and batched.delivery_ratio == 1.0
+        for *_cell, plain, batched in results
+    )
+    # the media-dominant headline cell gains at least 2× simulated-time
+    # throughput from batching (measured ~4× on the reference machine)
+    headline = results[1]
+    assert (
+        headline[5].profile.sim_ms_per_wall_s
+        >= 2.0 * headline[4].profile.sim_ms_per_wall_s
+    )
+    # batching strictly cuts the event count wherever batches form
+    assert all(
+        batched.profile.events_processed < plain.profile.events_processed
+        for *_cell, plain, batched in results
+    )
+
+
+# ----------------------------------------------------------------------
+# scheduler matrix
+# ----------------------------------------------------------------------
+def _run_sched_cell(scheduler: str):
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=200, H=60, fault_margin=1, seed=0, content_packets=400
+        ),
+        protocol=ProtocolSpec("dcop", {}),
+        profile=ProfileConfig(),
+        scheduler=scheduler,
+    )
+    return spec.run()
+
+
+def test_bench_kernel_scheduler_matrix(benchmark, bench_scalars):
+    results = benchmark.pedantic(
+        lambda: [(name, _run_sched_cell(name)) for name in ("heap", "calendar")],
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for name, result in results:
+        profile = result.profile
+        print(
+            f"{name:>10}: {profile.events_processed} events, "
+            f"{profile.events_per_wall_s:,.0f} ev/wall-s, "
+            f"heap peak {profile.heap_peak}"
+        )
+        bench_scalars[f"events_{name}"] = profile.events_processed
+        bench_scalars[f"events_per_wall_s_{name}"] = round(
+            profile.events_per_wall_s, 1
+        )
+
+    # identical trajectories — the deterministic counters must agree
+    (_, heap), (_, calendar) = results
+    assert (
+        heap.profile.events_processed == calendar.profile.events_processed
+    )
+    assert heap.profile.heap_peak == calendar.profile.heap_peak
+    assert heap.summary() == calendar.summary()

@@ -57,7 +57,7 @@ def rate_for(parent_rate: float, n_parts: int, interval: int) -> float:
     return parent_rate * (interval + 1) / (interval * n_parts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Assignment:
     """Everything a peer needs to build one transmission plan.
 
@@ -94,7 +94,7 @@ class Assignment:
         return divide(seq, self.n_parts, self.index)
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestMessage:
     """Leaf-originated content request (DCoP direct / baseline variants).
 
@@ -109,7 +109,7 @@ class RequestMessage:
     hops: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage:
     """Parent→child handoff carrying the child's assignment (DCoP c,
     TCoP c2/"start")."""
@@ -120,7 +120,7 @@ class ControlMessage:
     hops: int = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class OfferMessage:
     """TCoP c1: "will you be my child?"."""
 
@@ -130,7 +130,7 @@ class OfferMessage:
     hops: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ConfirmMessage:
     """TCoP cc1 response to an offer; ``accept=False`` is a rejection."""
 

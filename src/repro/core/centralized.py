@@ -40,8 +40,8 @@ class CentralizedCoordination(CoordinationProtocol):
         del cfg  # sizing handled by send_control
         controller = session.leaf_select(1)[0]
         session.protocol_state["controller"] = controller
-        if session.env.tracer is not None:
-            session.env.tracer.wave_start(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.wave_start(
                 1, session.leaf.peer_id, targets=1, phase="request"
             )
         session.send_control(
@@ -69,8 +69,8 @@ class CentralizedCoordination(CoordinationProtocol):
         if not others:
             self._start_all(agent)
             return
-        if agent.env.tracer is not None:
-            agent.env.tracer.wave_start(
+        if agent.env.hooks.tracer is not None:
+            agent.env.hooks.tracer.wave_start(
                 2, agent.peer_id, targets=len(others), phase="prepare"
             )
         for pid in others:
@@ -95,8 +95,8 @@ class CentralizedCoordination(CoordinationProtocol):
         interval = parity_interval_for(n_parts, cfg.fault_margin)
         rate = rate_for(cfg.tau, n_parts, interval)
         view = frozenset(members)
-        if agent.env.tracer is not None:
-            agent.env.tracer.wave_start(
+        if agent.env.hooks.tracer is not None:
+            agent.env.hooks.tracer.wave_start(
                 4, agent.peer_id, targets=n_parts, phase="start"
             )
         for i, pid in enumerate(members):

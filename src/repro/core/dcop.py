@@ -77,7 +77,7 @@ class DCoP(CoordinationProtocol):
 
         interval = parity_interval_for(m, cfg.fault_margin)
         rate = rate_for(cfg.tau, m, interval)
-        tracer = session.env.tracer
+        tracer = session.env.hooks.tracer
         if tracer is not None:
             tracer.wave_start(1, session.leaf.peer_id, targets=m)
         for i, pid in enumerate(selected):
@@ -118,7 +118,7 @@ class DCoP(CoordinationProtocol):
         children = agent.select_children(self.fanout(cfg))
         if not children:
             return
-        tracer = agent.env.tracer
+        tracer = agent.env.hooks.tracer
         if tracer is not None:
             tracer.wave_start(next_hops, agent.peer_id, targets=len(children))
         plan = agent.handoff_stream(stream, children)

@@ -87,8 +87,8 @@ class TCoP(CoordinationProtocol):
             }
             state[oid] = pending
             view = frozenset(selected)
-            if env.tracer is not None:
-                env.tracer.wave_start(
+            if env.hooks.tracer is not None:
+                env.hooks.tracer.wave_start(
                     base_hops + 1, leaf_id, targets=m, phase="offer"
                 )
             for pid in selected:
@@ -111,8 +111,8 @@ class TCoP(CoordinationProtocol):
         interval = parity_interval_for(n_parts, cfg.fault_margin)
         rate = rate_for(cfg.tau, n_parts, interval)
         view = frozenset(confirmed)
-        if env.tracer is not None:
-            env.tracer.wave_start(
+        if env.hooks.tracer is not None:
+            env.hooks.tracer.wave_start(
                 base_hops + 3, leaf_id, targets=n_parts, phase="start"
             )
         for i, pid in enumerate(confirmed):
@@ -154,8 +154,8 @@ class TCoP(CoordinationProtocol):
         accept = agent.parent is None and not agent.active
         if accept:
             agent.parent = offer.sender
-            if agent.env.tracer is not None:
-                agent.env.tracer.emit(
+            if agent.env.hooks.tracer is not None:
+                agent.env.hooks.tracer.emit(
                     "peer.attach", agent.peer_id, parent=offer.sender
                 )
             # if the parent's start never arrives (lost on a faulty
@@ -175,8 +175,8 @@ class TCoP(CoordinationProtocol):
         yield agent.env.timeout((cfg.offer_timeout_deltas + 2) * cfg.delta)
         if not agent.active and agent.parent == parent_id:
             agent.parent = None
-            if agent.env.tracer is not None:
-                agent.env.tracer.emit(
+            if agent.env.hooks.tracer is not None:
+                agent.env.hooks.tracer.emit(
                     "peer.detach",
                     agent.peer_id,
                     parent=parent_id,
@@ -206,8 +206,8 @@ class TCoP(CoordinationProtocol):
         for agent in session.peers.values():
             if agent.parent == failed and not agent.active:
                 agent.parent = None
-                if session.env.tracer is not None:
-                    session.env.tracer.emit(
+                if session.env.hooks.tracer is not None:
+                    session.env.hooks.tracer.emit(
                         "peer.detach",
                         agent.peer_id,
                         parent=failed,
@@ -263,8 +263,8 @@ class TCoP(CoordinationProtocol):
             }
             pending_map[oid] = pending
             view = frozenset(agent.view)
-            if env.tracer is not None:
-                env.tracer.wave_start(
+            if env.hooks.tracer is not None:
+                env.hooks.tracer.wave_start(
                     round_cursor + 1, agent.peer_id,
                     targets=len(children), phase="offer",
                 )

@@ -13,6 +13,7 @@ Packet labels follow the paper's notation: a data packet is ``t_k`` (label
 again (e.g. ``t_<<1,2>,3,5>``).
 """
 
+from repro.media.batch import PacketBatch
 from repro.media.packet import (
     DataPacket,
     Label,
@@ -32,6 +33,7 @@ __all__ = [
     "Label",
     "MediaContent",
     "Packet",
+    "PacketBatch",
     "PacketSequence",
     "ParityPacket",
     "TimeSlot",

@@ -2,7 +2,13 @@
 
 from repro.metrics.table import Table
 from repro.metrics.series import SweepSeries
-from repro.metrics.stats import mean, mean_std, percentile, summarize
+from repro.metrics.stats import (
+    mean,
+    mean_std,
+    nearest_rank_percentile,
+    percentile,
+    summarize,
+)
 from repro.metrics.io import (
     load_artifacts,
     save_artifacts,
@@ -16,6 +22,7 @@ __all__ = [
     "load_artifacts",
     "mean",
     "mean_std",
+    "nearest_rank_percentile",
     "percentile",
     "save_artifacts",
     "session_result_from_dict",

@@ -37,6 +37,24 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
 
+def nearest_rank_percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Always returns an *observed* sample — the benchmark artifacts fold
+    per-cell observations (e.g. failure-detection latencies) into
+    p50/p95 scalars with this, so equal trajectories yield bit-equal
+    ``BENCH_*.json`` files.  Contrast :func:`percentile`, which linearly
+    interpolates between ranks.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, -(-q * len(ordered) // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
 def summarize(values: Sequence[float]) -> Dict[str, float]:
     """mean / std / min / p50 / p95 / max in one dict."""
     m, s = mean_std(values)

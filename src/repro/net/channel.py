@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -104,15 +104,106 @@ class Channel:
 
         self.stats.duplicated += len(extra_delays) - 1
 
-        def deliver(total_delay: float, duplicate: bool):
-            yield self.env.timeout(total_delay)
-            message.delivered_at = self.env.now
-            self.stats.delivered += 1
-            self.stats.latencies_sum += message.delivered_at - message.sent_at
-            self.dst.deliver(message, duplicate=duplicate)
-
         for index, extra in enumerate(extra_delays):
-            self.env.process(deliver(delay + extra, index > 0))
+            # one Timer per copy — the cheap fire-and-forget path (a
+            # spawned generator would cost three scheduled events)
+            self.env.call_later(delay + extra, self._deliver, message, index > 0)
+
+    def _deliver(self, message: Message, duplicate: bool) -> None:
+        message.delivered_at = self.env.now
+        self.stats.delivered += 1
+        self.stats.latencies_sum += message.delivered_at - message.sent_at
+        self.dst.deliver(message, duplicate=duplicate)
+
+    def send_batch(self, message: Message) -> Tuple[int, int, int]:
+        """Transmit a whole media batch as one delivery event.
+
+        ``message.body`` must be a :class:`~repro.media.batch.PacketBatch`
+        whose ``offsets_ms`` give each packet's nominal send instant
+        relative to *now*.  Per-packet fates are applied up front — loss
+        (vectorized where the model allows), link faults (sequential, so
+        stateful faults evolve exactly as if sent one by one), latency
+        (vectorized), and bandwidth serialization — then a single timer
+        fires at the last survivor's arrival carrying the delivered batch
+        in modeled arrival order.  Returns ``(delivered, dropped,
+        duplicated)`` packet counts for the overlay's accounting.
+        """
+        batch = message.body
+        k = len(batch)
+        now = self.env.now
+        message.sent_at = now
+        self.stats.sent += k
+        self.stats.bytes_sent += message.size_bytes
+
+        lost = self.loss.drops_batch(self.rng, k)
+        survivors = [i for i in range(k) if not lost[i]]
+        dropped = k - len(survivors)
+
+        if self.fault is not None:
+            fates = self.fault.apply_batch(self.rng, now, len(survivors))
+        else:
+            fates = None
+        delays = self.latency.sample_batch(self.rng, len(survivors))
+
+        offsets = batch.offsets_ms
+        packets = batch.packets
+        duplicated = 0
+        deliveries: list[tuple[float, bool, object]] = []
+        for j, i in enumerate(survivors):
+            extra_delays = (0.0,) if fates is None else fates[j]
+            if not extra_delays:
+                dropped += 1
+                continue
+            offset = offsets[i]
+            delay = float(delays[j])
+            if self.bandwidth is not None:
+                # serialize at the packet's nominal send instant
+                nominal = now + offset
+                start = max(nominal, self._link_free_at)
+                serialization = (
+                    message.size_bytes / k
+                ) / self.bandwidth
+                self._link_free_at = start + serialization
+                delay += (start - nominal) + serialization
+            duplicated += len(extra_delays) - 1
+            for index, extra in enumerate(extra_delays):
+                deliveries.append(
+                    (offset + delay + extra, index > 0, packets[i], offset)
+                )
+
+        self.stats.dropped += dropped
+        self.stats.duplicated += duplicated
+        if not deliveries:
+            return (0, dropped, duplicated)
+
+        deliveries.sort(key=lambda d: d[0])
+        arrival = deliveries[-1][0]
+        self.env.call_later(arrival, self._deliver_batch, message, deliveries)
+        return (len(deliveries) - duplicated, dropped, duplicated)
+
+    def _deliver_batch(self, message: Message, deliveries: list) -> None:
+        from repro.media.batch import PacketBatch
+
+        message.delivered_at = self.env.now
+        self.stats.delivered += len(deliveries)
+        # modeled per-copy one-way transit (nominal send offset -> arrival)
+        self.stats.latencies_sum += sum(
+            arrival - offset for arrival, _dup, _pkt, offset in deliveries
+        )
+        message.body = PacketBatch(
+            tuple(pkt for _a, _d, pkt, _o in deliveries),
+            np.fromiter(
+                (a for a, _d, _p, _o in deliveries),
+                dtype=np.float64,
+                count=len(deliveries),
+            ),
+            dup=np.fromiter(
+                (d for _a, d, _p, _o in deliveries),
+                dtype=bool,
+                count=len(deliveries),
+            ),
+        )
+        self.dst.deliver(message)
 
     def __repr__(self) -> str:
         return f"<Channel {self.src.node_id}->{self.dst.node_id}>"

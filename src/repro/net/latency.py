@@ -19,6 +19,16 @@ class LatencyModel(ABC):
     def sample(self, rng: np.random.Generator) -> float:
         """Return a non-negative delay in milliseconds."""
 
+    def sample_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Delays for ``k`` consecutive messages (batched media plane).
+
+        The default samples sequentially; memoryless built-ins override
+        with one vectorized draw.
+        """
+        return np.fromiter(
+            (self.sample(rng) for _ in range(k)), dtype=np.float64, count=k
+        )
+
     @property
     @abstractmethod
     def mean(self) -> float:
@@ -35,6 +45,10 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.delay
+
+    def sample_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        # no RNG draws, mirroring sample()
+        return np.full(k, self.delay)
 
     @property
     def mean(self) -> float:
@@ -56,6 +70,9 @@ class UniformLatency(LatencyModel):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
 
+    def sample_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, k)
+
     @property
     def mean(self) -> float:
         return (self.low + self.high) / 2
@@ -76,6 +93,9 @@ class NormalLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return max(self.floor, float(rng.normal(self._mean, self.std)))
+
+    def sample_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        return np.maximum(self.floor, rng.normal(self._mean, self.std, k))
 
     @property
     def mean(self) -> float:

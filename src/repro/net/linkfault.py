@@ -56,6 +56,17 @@ class LinkFault(ABC):
         """Extra delay per delivered copy; empty tuple = message lost."""
         raise NotImplementedError
 
+    def apply_batch(
+        self, rng: np.random.Generator, now: float, k: int
+    ) -> list:
+        """Per-packet fates for ``k`` packets of one media batch.
+
+        Sequential by construction so stateful and composite faults keep
+        their exact per-message evolution; each element is the usual
+        extra-delays tuple (empty = that packet lost on the link).
+        """
+        return [self.apply(rng, now) for _ in range(k)]
+
 
 @dataclass
 class DropFault(LinkFault):

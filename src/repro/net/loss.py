@@ -19,12 +19,27 @@ class LossModel(ABC):
     def drops(self, rng: np.random.Generator) -> bool:
         """True if the next message on this channel is lost."""
 
+    def drops_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Drop fate for ``k`` consecutive messages (batched media plane).
+
+        Returns a boolean array of length ``k``.  The default draws
+        sequentially so stateful (bursty) models keep their exact
+        per-message state evolution; memoryless models override with a
+        single vectorized draw.
+        """
+        return np.fromiter(
+            (self.drops(rng) for _ in range(k)), dtype=bool, count=k
+        )
+
 
 class NoLoss(LossModel):
     """Reliable channel — the headline figures' regime (10 Gbps Ethernet)."""
 
     def drops(self, rng: np.random.Generator) -> bool:
         return False
+
+    def drops_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        return np.zeros(k, dtype=bool)
 
     def __repr__(self) -> str:
         return "NoLoss()"
@@ -40,6 +55,9 @@ class BernoulliLoss(LossModel):
 
     def drops(self, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.p)
+
+    def drops_batch(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        return rng.random(k) < self.p
 
     def __repr__(self) -> str:
         return f"BernoulliLoss({self.p})"

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One unit of overlay traffic.
 

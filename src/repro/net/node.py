@@ -40,7 +40,7 @@ class Node:
         trace carries the flag so auditors can exclude them from
         send/recv conservation counts.
         """
-        tracer = self.env.tracer
+        tracer = self.env.hooks.tracer
         if self.down:
             self.dropped_while_down += 1
             if tracer is not None:
@@ -76,13 +76,13 @@ class Node:
         """Mark the node failed: it neither receives nor (by convention)
         sends from now on."""
         self.down = True
-        if self.env.tracer is not None:
-            self.env.tracer.emit("peer.crash", self.node_id)
+        if self.env.hooks.tracer is not None:
+            self.env.hooks.tracer.emit("peer.crash", self.node_id)
 
     def recover(self) -> None:
         self.down = False
-        if self.env.tracer is not None:
-            self.env.tracer.emit("peer.rejoin", self.node_id)
+        if self.env.hooks.tracer is not None:
+            self.env.hooks.tracer.emit("peer.rejoin", self.node_id)
 
     def __repr__(self) -> str:
         state = "down" if self.down else "up"

@@ -232,8 +232,8 @@ class ControlPlane:
                 # no longer be attributed to one transmission — never
                 # feed its round-trip into the estimator
                 meta[2] = True
-            if self.env.tracer is not None:
-                self.env.tracer.emit(
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit(
                     "msg.retransmit", src, dst=dst, kind=kind,
                     attempt=_attempt + 1,
                 )
@@ -244,8 +244,8 @@ class ControlPlane:
         self._pending.pop(mid, None)
         self._meta.pop(mid, None)
         self.overlay.traffic.give_ups_by_kind[kind] += 1
-        if self.env.tracer is not None:
-            self.env.tracer.emit("msg.give_up", src, dst=dst, kind=kind)
+        if self.env.hooks.tracer is not None:
+            self.env.hooks.tracer.emit("msg.give_up", src, dst=dst, kind=kind)
         if self.on_give_up is not None:
             self.on_give_up(src, dst, kind, body)
 
@@ -407,15 +407,15 @@ class Overlay:
             raise KeyError(f"unknown endpoint in {src}->{dst}")
         if (src, dst) not in self._severed:
             self._severed.add((src, dst))
-            if self.env.tracer is not None:
-                self.env.tracer.emit("link.sever", src, dst=dst)
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit("link.sever", src, dst=dst)
 
     def heal_link(self, src: str, dst: str) -> None:
         """Restore a previously severed directed link (no-op if intact)."""
         if (src, dst) in self._severed:
             self._severed.discard((src, dst))
-            if self.env.tracer is not None:
-                self.env.tracer.emit("link.heal", src, dst=dst)
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit("link.heal", src, dst=dst)
 
     def link_severed(self, src: str, dst: str) -> bool:
         return (src, dst) in self._severed
@@ -444,7 +444,7 @@ class Overlay:
         msg_id: Optional[int] = None,
     ) -> Message:
         """Send one message and account for it globally."""
-        tracer = self.env.tracer
+        tracer = self.env.hooks.tracer
         if self.nodes[src].down:
             # A crashed peer sends nothing; account as a suppressed send.
             self.traffic.dropped_by_kind[kind] += 1
@@ -499,6 +499,63 @@ class Overlay:
                         "link.duplicate", src, dst=dst, kind=kind,
                         copies=extra_copies + 1,
                     )
+        return msg
+
+    def send_media_batch(
+        self, src: str, dst: str, batch, packet_size: int
+    ) -> Optional[Message]:
+        """Send a whole per-slot media batch as one delivery event.
+
+        Traffic accounting stays per *packet* under the ``"packet"`` kind
+        (so receipt/delivery metrics compare directly with the unbatched
+        plane); the wire message's own kind is ``"packet_batch"`` and the
+        leaf unbatches it into identical per-packet semantics.  Trace
+        emissions carry a ``count`` payload instead of repeating one
+        event per packet.
+        """
+        tracer = self.env.hooks.tracer
+        k = len(batch)
+        if self.nodes[src].down:
+            self.traffic.dropped_by_kind["packet"] += k
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind="packet",
+                    reason="sender_down", count=k,
+                )
+            return None
+        msg = Message(
+            src=src, dst=dst, kind="packet_batch", body=batch,
+            size_bytes=packet_size * k, uid=next(self._uids),
+        )
+        self.traffic.sent_by_kind["packet"] += k
+        self.traffic.send_log.append(("packet", self.env.now, src, dst))
+        if tracer is not None:
+            tracer.emit("msg.send", src, dst=dst, kind="packet", count=k)
+        if (src, dst) in self._severed:
+            self.traffic.dropped_by_kind["packet"] += k
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind="packet",
+                    reason="link_severed", count=k,
+                )
+            return msg
+        ch = self.channel(src, dst)
+        delivered, dropped, duplicated = ch.send_batch(msg)
+        if dropped:
+            self.traffic.dropped_by_kind["packet"] += dropped
+            if tracer is not None:
+                tracer.emit(
+                    "msg.drop", src, dst=dst, kind="packet",
+                    reason="channel_loss", count=dropped,
+                )
+        self.traffic.delivered_by_kind["packet"] += delivered
+        if duplicated:
+            self.traffic.duplicated_by_kind["packet"] += duplicated
+            if tracer is not None:
+                tracer.emit(
+                    "link.duplicate", src, dst=dst, kind="packet",
+                    copies=duplicated + 1,
+                )
         return msg
 
     def __repr__(self) -> str:

@@ -3,7 +3,7 @@
 The subsystem is **opt-in and zero-overhead when off**: a session only
 records anything when constructed with a :class:`TraceConfig`; every
 instrumentation hook in the engine, overlay, protocols, and agents is a
-single ``env.tracer is None`` check otherwise, so the tier-1 figures run
+single ``env.hooks.tracer is None`` check otherwise, so the tier-1 figures run
 untouched.
 
 * :mod:`repro.obs.trace` — :class:`TraceBus` + the typed event taxonomy

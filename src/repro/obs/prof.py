@@ -2,8 +2,8 @@
 
 The `repro.obs` trace/metrics/audit stack observes protocol *correctness*;
 this module observes *cost*.  A :class:`SimProfiler` hangs on the
-environment (``env.profiler``, the same opt-in slot pattern as
-``env.tracer``) and the engine routes every event dispatch through
+environment (``env.hooks.profiler``, the same opt-in slot pattern as
+``env.hooks.tracer``) and the engine routes every event dispatch through
 :meth:`SimProfiler.dispatch`, which
 
 * times each callback with ``time.perf_counter`` and attributes the
@@ -53,6 +53,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
+from repro.sim.events import Timer
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -183,6 +184,17 @@ class ProfileReport:
         return self.events_processed / self.sim_time_ms
 
     @property
+    def sim_ms_per_wall_s(self) -> float:
+        """Simulated milliseconds advanced per wall-clock second.
+
+        The batched-media headline: batching cuts *events* per simulated
+        packet, so the same session fast-forwards through more simulated
+        time per second of wall clock even though ``events_per_wall_s``
+        (a per-event dispatch cost) barely moves.
+        """
+        return self.sim_time_ms / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
     def attributed_share(self) -> float:
         """Fraction of dispatch wall-time attributed to *named* subsystems
         (everything except ``other``).  The acceptance bar is ≥ 0.95."""
@@ -213,6 +225,7 @@ class ProfileReport:
             "callback_calls": self.callback_calls,
             "events_per_wall_s": self.events_per_wall_s,
             "events_per_sim_ms": self.events_per_sim_ms,
+            "sim_ms_per_wall_s": self.sim_ms_per_wall_s,
             "attributed_share": self.attributed_share,
             "subsystems": self.subsystems,
             "sites": self.sites,
@@ -311,7 +324,7 @@ class ProfileReport:
 class SimProfiler:
     """Passive wall-time/allocation profiler for one simulation run.
 
-    Installed on ``env.profiler`` by the session when
+    Installed on ``env.hooks.profiler`` by the session when
     ``SessionSpec.profile`` is set; the engine's ``step``/``_schedule``
     call :meth:`dispatch`/:meth:`note_schedule`.  All accounting is
     read-only with respect to the model, so enabling it cannot perturb
@@ -329,6 +342,7 @@ class SimProfiler:
         self.callback_calls = 0
         self.scheduled = 0
         self.cancelled = 0
+        self.tombstone_skips = 0
         self.heap_peak = 0
         self.dispatch_wall = 0.0
         #: wall spent inside instrumented TraceBus.emit during the
@@ -383,6 +397,10 @@ class SimProfiler:
         self.scheduled += 1
         if heap_len > self.heap_peak:
             self.heap_peak = heap_len
+
+    def note_skip(self) -> None:
+        """One tombstoned entry discarded by the pop loop (lazy cancel)."""
+        self.tombstone_skips += 1
 
     def dispatch(self, now: float, event: "Event", callbacks, heap_len: int) -> None:
         """Run one popped event's callbacks, timed and attributed.
@@ -446,6 +464,9 @@ class SimProfiler:
         are cached by code object.
         """
         owner = getattr(callback, "__self__", None)
+        if type(owner) is Timer and owner._fn is not None:
+            # the Timer is a trampoline; the time goes to its payload
+            return self._site_of(owner._fn)
         if isinstance(owner, Process):
             code = owner._generator.gi_code
             cached = self._code_site.get(code)
@@ -560,6 +581,7 @@ class SimProfiler:
         resources: Dict[str, float] = {
             "events_scheduled": self.scheduled,
             "heap_peak": self.heap_peak,
+            "tombstone_skips": float(self.tombstone_skips),
         }
         try:
             import resource as _resource

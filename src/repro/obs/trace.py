@@ -1,11 +1,11 @@
 """The trace bus: typed, time-stamped events from every simulation layer.
 
 A :class:`TraceBus` is created by the session when a :class:`TraceConfig`
-is passed and hung on the environment (``env.tracer``); every
+is passed and hung on the environment (``env.hooks.tracer``); every
 instrumentation site in the engine, the overlay, the protocols, and the
 streaming agents publishes through it with a single guarded call::
 
-    tr = self.env.tracer
+    tr = self.env.hooks.tracer
     if tr is not None:
         tr.emit("msg.send", src, dst=dst, kind=kind)
 
@@ -189,7 +189,9 @@ class TraceBus:
                 if self.registry is not None:
                     self.registry.inc("ctrl_sends")
             elif self.registry is not None:
-                self.registry.inc("media_sends")
+                # batched media sends carry a ``count`` payload covering
+                # the whole per-slot subsequence in one emit
+                self.registry.inc("media_sends", data.get("count", 1))
         elif kind == "msg.recv":
             # link-fault duplicates (dup=1) were never counted as sends,
             # so only the first copy settles the in-flight balance

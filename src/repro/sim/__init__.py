@@ -21,9 +21,17 @@ Nothing in this package knows about networks or streaming; it is a generic
 kernel and unit-tested in isolation.
 """
 
-from repro.sim.engine import Environment, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, ConditionValue
+from repro.sim.engine import Environment, SimHooks, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, Timer, ConditionValue
 from repro.sim.process import Interrupt, Process
+from repro.sim.sched import (
+    CalendarQueueScheduler,
+    HeapScheduler,
+    Scheduler,
+    available_schedulers,
+    build_scheduler,
+    register_scheduler,
+)
 from repro.sim.resources import (
     Preempted,
     PreemptiveResource,
@@ -37,10 +45,12 @@ from repro.sim.rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueueScheduler",
     "ConditionValue",
     "Environment",
     "Event",
     "FilterStore",
+    "HeapScheduler",
     "Interrupt",
     "Preempted",
     "PreemptiveResource",
@@ -51,7 +61,13 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "Scheduler",
+    "SimHooks",
     "StopSimulation",
     "Store",
     "Timeout",
+    "Timer",
+    "available_schedulers",
+    "build_scheduler",
+    "register_scheduler",
 ]

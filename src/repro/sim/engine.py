@@ -1,13 +1,24 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, pluggable scheduler, and run loop."""
 
 from __future__ import annotations
 
-import heapq
+import os
+import warnings
 from itertools import count
 from typing import Any, Generator, Optional, Union
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout, Timer
 from repro.sim.process import Process
+from repro.sim.sched import Scheduler, build_scheduler
+
+#: Environment variable consulted when no scheduler is passed explicitly —
+#: lets a whole test run exercise an alternative scheduler without code
+#: changes (CI runs tier-1 under ``REPRO_SCHEDULER=calendar``).
+SCHEDULER_ENV_VAR = "REPRO_SCHEDULER"
+
+#: Fired timers are recycled through a bounded free list; past this size
+#: they are simply dropped for the garbage collector.
+_TIMER_POOL_MAX = 512
 
 
 class StopSimulation(Exception):
@@ -25,32 +36,104 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+class SimHooks:
+    """Instrumentation facade: the one opt-in slot the hot path checks.
+
+    Every instrumented site reads ``env.hooks`` (always present) and
+    guards on its ``tracer`` / ``profiler`` members being ``None``::
+
+        tr = self.env.hooks.tracer
+        if tr is not None:
+            tr.emit("msg.send", src, dst=dst, kind=kind)
+
+    so an uninstrumented run pays one attribute load plus one ``None``
+    check per hook and builds no strings or kwargs.  ``tracer`` is a
+    :class:`repro.obs.trace.TraceBus` when the owning session enables
+    tracing; ``profiler`` is a :class:`repro.obs.prof.SimProfiler` when
+    profiling is on.  Both are passive observers (no RNG draws, no
+    scheduling), so instrumented trajectories are byte-identical to
+    uninstrumented ones.
+    """
+
+    __slots__ = ("tracer", "profiler")
+
+    def __init__(self) -> None:
+        self.tracer = None
+        self.profiler = None
+
+
 class Environment:
     """A discrete-event simulation environment.
 
     Time starts at ``initial_time`` and only advances through event
     processing; the unit is whatever the model chooses (this reproduction
     uses milliseconds throughout).
+
+    ``scheduler`` selects the pending-event container: a
+    :class:`~repro.sim.sched.Scheduler` instance, a registered name
+    (``"heap"``, ``"calendar"``), or ``None`` to consult the
+    ``REPRO_SCHEDULER`` environment variable and fall back to the binary
+    heap.  All schedulers pop in the same ``(time, priority, eid)`` total
+    order, so the choice never changes a trajectory.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Union[None, str, Scheduler] = None,
+    ) -> None:
         self._now = initial_time
-        self._queue: list[tuple[float, int, int, Event]] = []
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV_VAR, "heap")
+        if isinstance(scheduler, str):
+            scheduler = build_scheduler(scheduler)
+        self._sched: Scheduler = scheduler
         self._eid = count()
         self._active_process: Optional[Process] = None
-        #: observability hook — a :class:`repro.obs.trace.TraceBus` when the
-        #: owning session enables tracing, ``None`` otherwise.  Every
-        #: instrumentation site in the model layers reads this slot and
-        #: guards on ``None``, so a trace-less run pays one attribute check
-        #: per hook and nothing more.
-        self.tracer = None
-        #: performance hook — a :class:`repro.obs.prof.SimProfiler` when
-        #: the owning session enables profiling, ``None`` otherwise.  The
-        #: same opt-in contract as ``tracer``: an unprofiled run pays one
-        #: ``None`` check per schedule/dispatch and nothing more, and the
-        #: profiler itself is passive (no RNG draws, no scheduling), so
-        #: profiled trajectories are byte-identical to unprofiled ones.
-        self.profiler = None
+        #: instrumentation facade — always present; see :class:`SimHooks`
+        self.hooks = SimHooks()
+        self._timer_pool: list[Timer] = []
+
+    # ------------------------------------------------------------------
+    # deprecated attribute shims (pre-hooks API)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """Deprecated alias for ``env.hooks.tracer``."""
+        warnings.warn(
+            "Environment.tracer is deprecated; use env.hooks.tracer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hooks.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        warnings.warn(
+            "Environment.tracer is deprecated; use env.hooks.tracer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.hooks.tracer = value
+
+    @property
+    def profiler(self):
+        """Deprecated alias for ``env.hooks.profiler``."""
+        warnings.warn(
+            "Environment.profiler is deprecated; use env.hooks.profiler",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hooks.profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        warnings.warn(
+            "Environment.profiler is deprecated; use env.hooks.profiler",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.hooks.profiler = value
 
     # ------------------------------------------------------------------
     # inspection
@@ -65,12 +148,21 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduler holding this environment's pending events."""
+        return self._sched
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none remain.
+
+        Tombstoned (cancelled) entries still count until popped, so the
+        reported time is a lower bound on the next *processed* event.
+        """
+        return self._sched.peek_time()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._sched)
 
     # ------------------------------------------------------------------
     # factories
@@ -87,6 +179,25 @@ class Environment:
         """Start a new :class:`Process` driving ``generator``."""
         return Process(self, generator)
 
+    def call_later(self, delay: float, fn, *args) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        The cheap fire-and-forget path: one scheduled event, no generator
+        machinery.  Returns the :class:`Timer`, whose ``cancel()``
+        tombstones it (lazy removal).  Fired timers are pooled — do not
+        cancel a handle after its scheduled instant.
+        """
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+            timer._fn = fn
+            timer._args = args
+            timer.callbacks = [timer._fire]
+            timer._tombstone = False
+            self._schedule(timer, NORMAL, delay)
+            return timer
+        return Timer(self, delay, fn, args)
+
     def all_of(self, events) -> AllOf:
         return AllOf(self, events)
 
@@ -97,39 +208,58 @@ class Environment:
     # scheduling / execution
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
-        if self.profiler is not None:
-            self.profiler.note_schedule(len(self._queue))
+        sched = self._sched
+        sched.push((self._now + delay, priority, next(self._eid), event))
+        profiler = self.hooks.profiler
+        if profiler is not None:
+            profiler.note_schedule(len(sched))
+
+    def _recycle(self, timer: Timer) -> None:
+        timer._fn = None
+        timer._args = ()
+        pool = self._timer_pool
+        if len(pool) < _TIMER_POOL_MAX:
+            pool.append(timer)
 
     def step(self) -> None:
         """Process the next scheduled event.
 
-        Raises :class:`EmptySchedule` when the queue is empty, and re-raises
-        any *un-defused* event failure (a process crash nobody waited on) so
+        Tombstoned (cancelled) entries are discarded unprocessed.  Raises
+        :class:`EmptySchedule` when the queue is empty, and re-raises any
+        *un-defused* event failure (a process crash nobody waited on) so
         model bugs surface instead of silently vanishing.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        sched = self._sched
+        profiler = self.hooks.profiler
+        while True:
+            try:
+                now, _, _, event = sched.pop()
+            except IndexError:
+                raise EmptySchedule() from None
+            if not event._tombstone:
+                break
+            if profiler is not None:
+                profiler.note_skip()
+            if type(event) is Timer:
+                self._recycle(event)
 
+        self._now = now
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
-        if self.profiler is None:
+        if profiler is None:
             for callback in callbacks:
                 callback(event)
         else:
             # identical call order and exception propagation, with a
             # perf_counter bracket around each callback
-            self.profiler.dispatch(
-                self._now, event, callbacks, len(self._queue)
-            )
+            profiler.dispatch(self._now, event, callbacks, len(sched))
 
         if not event._ok and not event._defused:
             exc = event._value
             raise exc
+        if type(event) is Timer and len(callbacks) == 1:
+            # nobody else held a wait on it — safe to reuse
+            self._recycle(event)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -161,9 +291,10 @@ class Environment:
             # Priority below NORMAL-scheduled events at the same time would
             # process them first; we want the horizon to win, so use a
             # priority that sorts ahead of everything at `horizon`.
-            heapq.heappush(self._queue, (horizon, -1, next(self._eid), at_event))
-            if self.profiler is not None:
-                self.profiler.note_schedule(len(self._queue))
+            self._sched.push((horizon, -1, next(self._eid), at_event))
+            profiler = self.hooks.profiler
+            if profiler is not None:
+                profiler.note_schedule(len(self._sched))
             at_event.callbacks.append(StopSimulation.callback)
 
         try:

@@ -35,6 +35,11 @@ class Event:
         The environment that will schedule and process this event.
     """
 
+    # Events are the hottest allocation in any run; __slots__ removes the
+    # per-instance dict.  Subclasses that need ad-hoc attributes (store and
+    # resource requests) simply omit __slots__ and regain a dict.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_tombstone")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -44,6 +49,9 @@ class Event:
         #: explicitly); unhandled failures crash the simulation at
         #: processing time so programming errors are never silently lost.
         self._defused: bool = False
+        #: Lazy cancellation: a tombstoned event stays in the scheduler but
+        #: the dispatch loop discards it unprocessed when popped.
+        self._tombstone: bool = False
 
     # ------------------------------------------------------------------
     # state inspection
@@ -126,6 +134,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` units of simulated time from now."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -143,6 +153,52 @@ class Timeout(Event):
         return f"<Timeout delay={self._delay} at {id(self):#x}>"
 
 
+class Timer(Event):
+    """A pre-triggered delayed callback: one heap entry, no generator.
+
+    ``Timer`` is the cheap path for fire-and-forget work (channel
+    deliveries, most of the media plane): where spawning a process to
+    ``yield timeout(d)`` costs three scheduled events (the initializer,
+    the timeout, and the process-end event that is dispatched with no
+    callbacks — the kernel's "cancelled event" waste), a ``Timer`` costs
+    exactly one.  Create via :meth:`Environment.call_later`.
+
+    A timer may be cancelled (tombstoned) any time *before* its scheduled
+    instant; the scheduler discards it lazily when popped.  Handles must
+    not be cancelled after the fire time — the environment recycles fired
+    timers through an object pool.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, env: "Environment", delay: float, fn, args) -> None:
+        # Hot path: bypass Event.__init__ and set the slots directly.
+        self.env = env
+        self.callbacks = [self._fire]
+        self._value = None  # pre-triggered (ok, value None)
+        self._ok = True
+        self._defused = False
+        self._tombstone = False
+        self._fn = fn
+        self._args = args
+        env._schedule(self, NORMAL, delay)
+
+    def _fire(self, _event: "Event") -> None:
+        fn = self._fn
+        if fn is not None:
+            fn(*self._args)
+
+    def cancel(self) -> None:
+        """Tombstone the timer: it will be discarded unprocessed."""
+        self._tombstone = True
+        self._fn = None
+        self._args = ()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._tombstone else "armed"
+        return f"<Timer {state} at {id(self):#x}>"
+
+
 class ConditionValue:
     """Ordered mapping of triggered events to their values.
 
@@ -150,6 +206,8 @@ class ConditionValue:
     the original events in their construction order; only events that have
     triggered by the time the condition fired are present.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []

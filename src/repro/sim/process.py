@@ -36,6 +36,8 @@ class Interrupt(Exception):
 class _Initialize(Event):
     """Immediate event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
@@ -46,6 +48,8 @@ class _Initialize(Event):
 
 class _Interruption(Event):
     """Urgent event that throws :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -82,6 +86,8 @@ class _Interruption(Event):
 
 class Process(Event):
     """A running simulation activity driven by a generator."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+import numpy as np
+
 from repro.core.base import Assignment
+from repro.media.batch import PacketBatch
 from repro.net.dedup import DedupWindow
 from repro.net.message import Message
 from repro.streaming.stream import Stream
@@ -148,16 +151,14 @@ class ContentsPeerAgent:
         stream_id = len(self.streams)
         self.streams.append(stream)
         if not stream.exhausted:
-            if self.env.tracer is not None:
-                self.env.tracer.emit(
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit(
                     "peer.stream_start",
                     self.peer_id,
                     packets=stream.remaining(),
                     stream=stream_id,
                 )
-            self.env.process(
-                self._transmit_loop(stream, self._epoch, stream_id)
-            )
+            self._start_transmit(stream, stream_id)
         if (
             self.session.detector is not None
             and self.active
@@ -165,6 +166,20 @@ class ContentsPeerAgent:
         ):
             self._heartbeat_running = True
             self.env.process(self._heartbeat_loop(self._epoch))
+
+    def _start_transmit(self, stream: Stream, stream_id: int) -> None:
+        """Spawn the transmit loop — batched when the session asks for it."""
+        window = self.session.media_batch_window_ms
+        if window > 0.0:
+            self.env.process(
+                self._transmit_loop_batched(
+                    stream, self._epoch, stream_id, window
+                )
+            )
+        else:
+            self.env.process(
+                self._transmit_loop(stream, self._epoch, stream_id)
+            )
 
     def _transmit_loop(self, stream: Stream, epoch: int, stream_id: int = 0):
         """Pace packets of one stream to the leaf.
@@ -192,8 +207,8 @@ class ContentsPeerAgent:
             pkt = stream.pop_next()
             if pkt is None:
                 return
-            if self.env.tracer is not None:
-                self.env.tracer.emit(
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit(
                     "media.tx", self.peer_id, label=pkt.label, stream=stream_id
                 )
             self.session.overlay.send(
@@ -203,6 +218,70 @@ class ContentsPeerAgent:
                 body=pkt,
                 size_bytes=cfg.packet_size,
             )
+
+    def _transmit_loop_batched(
+        self, stream: Stream, epoch: int, stream_id: int, window: float
+    ):
+        """Pace whole per-slot subsequences as single batched sends.
+
+        Every iteration pops up to ``window × rate`` packets from the
+        current phase and ships them as one
+        :class:`~repro.media.batch.PacketBatch` delivery event with
+        per-packet send offsets ``0, period, 2·period, …``; the loop then
+        sleeps out the remainder of the slot, so the average rate matches
+        the unbatched loop exactly.  Rate changes (handoffs, capacity
+        throttling) take effect at batch boundaries — the batch window is
+        the granularity knob (``SessionSpec.media_batch`` in δ units).
+        """
+        cfg = self.session.config
+        leaf_id = self.session.leaf.peer_id
+        overlay = self.session.overlay
+        first = True
+        while not stream.exhausted:
+            rate = self._effective_rate(stream)
+            period = 1.0 / rate
+            delay = period
+            if first:
+                # same random de-phasing as the unbatched loop
+                delay = period * float(self._phase_rng.random())
+                first = False
+            yield self.env.timeout(delay)
+            if self.node.down or epoch != self._epoch:
+                return
+            count = max(1, int(window * rate))
+            pkts = stream.pop_batch(count)
+            if not pkts:
+                return
+            tracer = self.env.hooks.tracer
+            if tracer is not None:
+                for pkt in pkts:
+                    tracer.emit(
+                        "media.tx", self.peer_id,
+                        label=pkt.label, stream=stream_id,
+                    )
+            if len(pkts) == 1:
+                # a slot worth less than two packets (deeply divided
+                # streams): the per-packet wire path is cheaper than a
+                # one-element batch and semantically identical
+                overlay.send(
+                    self.peer_id,
+                    leaf_id,
+                    "packet",
+                    body=pkts[0],
+                    size_bytes=cfg.packet_size,
+                )
+                continue
+            batch = PacketBatch(
+                pkts, np.arange(len(pkts), dtype=np.float64) * period
+            )
+            overlay.send_media_batch(
+                self.peer_id, leaf_id, batch, cfg.packet_size
+            )
+            if len(pkts) > 1:
+                # sleep out the rest of the slot the batch covered
+                yield self.env.timeout((len(pkts) - 1) * period)
+                if self.node.down or epoch != self._epoch:
+                    return
 
     # ------------------------------------------------------------------
     # liveness (failure-detector support)
@@ -273,9 +352,7 @@ class ContentsPeerAgent:
         self._epoch += 1
         for stream_id, stream in enumerate(self.streams):
             if not stream.exhausted:
-                self.env.process(
-                    self._transmit_loop(stream, self._epoch, stream_id)
-                )
+                self._start_transmit(stream, stream_id)
         if (
             self.session.detector is not None
             and self.active

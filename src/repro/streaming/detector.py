@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.streaming.session import StreamingSession
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Body of a ``heartbeat`` message.
 
@@ -325,7 +325,7 @@ class FailureDetector:
             # ground truth (simulator oracle, metrics only): the peer is
             # actually up — a slow or silent-but-alive peer was accused
             self.false_suspicions += 1
-        tracer = self.session.env.tracer
+        tracer = self.session.env.hooks.tracer
         if tracer is not None:
             tracer.emit(
                 "detector.suspect",
@@ -340,7 +340,7 @@ class FailureDetector:
         crash_at = self.session.crash_time_of(peer_id)
         if crash_at is not None:
             self.detection_latencies[peer_id] = now - crash_at
-        tracer = self.session.env.tracer
+        tracer = self.session.env.hooks.tracer
         if tracer is not None:
             tracer.emit(
                 "detector.confirm",

@@ -512,8 +512,8 @@ class PartitionPlan:
         for src, dst in links:
             overlay.sever_link(src, dst)
         isolated = self.isolated_peers
-        if session.env.tracer is not None:
-            session.env.tracer.emit(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.emit(
                 "partition.split",
                 "overlay",
                 components=len(self.components) + 1,
@@ -528,8 +528,8 @@ class PartitionPlan:
         yield session.env.timeout(self.heal_at - self.at)
         for src, dst in links:
             overlay.heal_link(src, dst)
-        if session.env.tracer is not None:
-            session.env.tracer.emit(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.emit(
                 "partition.heal",
                 "overlay",
                 isolated=",".join(isolated),

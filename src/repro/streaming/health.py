@@ -245,8 +245,8 @@ class HealthMonitor:
         self.quarantined[pid] = record
         self.records.append(record)
         self._strikes[pid] = 0
-        if session.env.tracer is not None:
-            session.env.tracer.emit(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.emit(
                 "health.quarantine",
                 pid,
                 reasons=",".join(reasons),
@@ -308,8 +308,8 @@ class HealthMonitor:
             st = detector.monitored.get(pid)
             ok = st is not None and st.last_heard > sent_at
             successes = successes + 1 if ok else 0
-            if env.tracer is not None:
-                env.tracer.emit(
+            if env.hooks.tracer is not None:
+                env.hooks.tracer.emit(
                     "health.probe",
                     pid,
                     ok=ok,
@@ -333,8 +333,8 @@ class HealthMonitor:
         # restart the throughput baseline so the quarantine window's
         # starvation is not held against the readmitted peer
         self._arrivals_prev[pid] = session.leaf.arrivals_by_src.get(pid, 0)
-        if session.env.tracer is not None:
-            session.env.tracer.emit(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.emit(
                 "health.readmit",
                 pid,
                 probes=probes,

@@ -81,6 +81,14 @@ class LeafPeerAgent:
         if detector is not None and message.src in self.session.peers:
             # anything a peer sends us — media included — proves it alive
             detector.touch(message.src)
+        if message.kind == "packet_batch":
+            # batched media plane: unbatch into the identical per-packet
+            # pipeline (admission, media.rx, arrival stats, decoder)
+            now = self.env.now
+            src = message.src
+            for pkt in message.body.packets:
+                self._accept_media(pkt, src, now)
+            return
         if message.kind != "packet":
             if self.session.intercept_control(message):
                 return  # ack, or duplicate of a retransmitted message
@@ -98,23 +106,24 @@ class LeafPeerAgent:
                 return
             self.session.protocol.handle_leaf_message(self.session, message)
             return
-        now = self.env.now
+        self._accept_media(message.body, message.src, self.env.now)
+
+    def _accept_media(self, pkt, src: str, now: float) -> None:
+        """One media packet through admission, stats, and the decoder —
+        shared verbatim by the per-packet and batched delivery paths."""
         if self._rho is not None and not self._admit(now):
             self.receive_overruns += 1
-            if self.env.tracer is not None:
-                self.env.tracer.emit(
-                    "buffer.overrun", self.peer_id, src=message.src
+            if self.env.hooks.tracer is not None:
+                self.env.hooks.tracer.emit(
+                    "buffer.overrun", self.peer_id, src=src
                 )
             return
-        pkt = message.body
-        if self.env.tracer is not None:
-            self.env.tracer.emit(
-                "media.rx", self.peer_id, label=pkt.label, src=message.src
+        if self.env.hooks.tracer is not None:
+            self.env.hooks.tracer.emit(
+                "media.rx", self.peer_id, label=pkt.label, src=src
             )
         self.arrival_times.append(now)
-        self.arrivals_by_src[message.src] = (
-            self.arrivals_by_src.get(message.src, 0) + 1
-        )
+        self.arrivals_by_src[src] = self.arrivals_by_src.get(src, 0) + 1
         if self.first_arrival is None:
             self.first_arrival = now
         self.last_arrival = now
@@ -140,11 +149,11 @@ class LeafPeerAgent:
         # every newly held data seq (received or parity-recovered) becomes
         # available for playback
         newly = self.decoder.add(pkt)
-        if self.env.tracer is not None:
+        if self.env.hooks.tracer is not None:
             direct = pkt.label if not pkt.is_parity else None
             for seq in sorted(newly):
                 if seq != direct:
-                    self.env.tracer.emit("fec.recover", self.peer_id, seq=seq)
+                    self.env.hooks.tracer.emit("fec.recover", self.peer_id, seq=seq)
         for seq in newly:
             self.buffer.offer(seq, now)
 
@@ -161,8 +170,8 @@ class LeafPeerAgent:
         while not self.buffer.finished:
             played = self.buffer.play_next(self.env.now)
             if played is None:
-                if self.env.tracer is not None:
-                    self.env.tracer.emit(
+                if self.env.hooks.tracer is not None:
+                    self.env.hooks.tracer.emit(
                         "buffer.underrun",
                         self.peer_id,
                         seq=self.buffer.next_needed,
@@ -172,8 +181,8 @@ class LeafPeerAgent:
                 # a partitioned leaf keeps (gappy) playback running
                 if self.buffer.should_skip:
                     skipped = self.buffer.skip()
-                    if self.env.tracer is not None:
-                        self.env.tracer.emit(
+                    if self.env.hooks.tracer is not None:
+                        self.env.hooks.tracer.emit(
                             "buffer.skip", self.peer_id, seq=skipped
                         )
             yield self.env.timeout(period)

@@ -102,8 +102,8 @@ class ReCoordinator:
                 latency=(now - crash_at) if crash_at is not None else None,
             )
         )
-        if session.env.tracer is not None:
-            session.env.tracer.emit(
+        if session.env.hooks.tracer is not None:
+            session.env.hooks.tracer.emit(
                 "recoord.reissue",
                 peer_id,
                 residual=len(residual),

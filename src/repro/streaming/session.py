@@ -295,6 +295,7 @@ class StreamingSession:
             resolve_link_fault_factory,
             resolve_loss_factory,
             resolve_protocol,
+            resolve_scheduler,
         )
 
         config = spec.config
@@ -323,14 +324,24 @@ class StreamingSession:
         self.spec = spec
         self.config = config
         self.protocol = protocol
-        self.env = Environment()
+        # scheduler choice is a pure speed knob (identical trajectories);
+        # a calendar queue defaults its bucket width to this session's δ
+        self.env = Environment(
+            scheduler=resolve_scheduler(spec.scheduler, config.delta)
+        )
+        if spec.media_batch < 0:
+            raise ValueError("media_batch must be >= 0 (δ units)")
+        #: batched media plane: per-slot window in ms (0 = per-packet)
+        self.media_batch_window_ms = (
+            spec.media_batch * config.delta if spec.media_batch > 0 else 0.0
+        )
         self.streams = RandomStreams(config.seed)
         # --- observability (opt-in; every hook no-ops when tracer=None) ---
         self.trace_bus: Optional[TraceBus] = None
         self.metrics_registry: Optional[MetricsRegistry] = None
         if trace is not None:
             self.trace_bus = TraceBus(trace, self.env)
-            self.env.tracer = self.trace_bus
+            self.env.hooks.tracer = self.trace_bus
         # --- performance profiler (opt-in; passive — trajectories are
         # byte-identical with it on or off) ---------------------------------
         self.profiler: Optional["SimProfiler"] = None
@@ -341,7 +352,7 @@ class StreamingSession:
             if profile is True:
                 profile = ProfileConfig()
             self.profiler = SimProfiler(profile)
-            self.env.profiler = self.profiler
+            self.env.hooks.profiler = self.profiler
             if self.trace_bus is not None:
                 # meter trace recording as its own subsystem ("tracing")
                 self.profiler.instrument_trace_bus(self.trace_bus)

@@ -117,6 +117,24 @@ class Stream:
         self.sent_count += 1
         return pkt
 
+    def pop_batch(self, limit: int) -> tuple:
+        """Take up to ``limit`` packets from the *current* phase.
+
+        The batched transmit loop's accessor: never crosses a phase
+        boundary, so every packet of one batch shares one rate, and a
+        handoff (which rewrites future phases) takes effect at the next
+        batch exactly as it would at the next packet.
+        """
+        self._normalize()
+        if not self._phases or limit <= 0:
+            return ()
+        packets = self._phases[0].packets
+        end = min(self._pos + limit, len(packets))
+        out = tuple(packets[self._pos:end])
+        self.sent_count += len(out)
+        self._pos = end
+        return out
+
     # ------------------------------------------------------------------
     # handoff
     # ------------------------------------------------------------------

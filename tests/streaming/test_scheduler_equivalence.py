@@ -1,0 +1,192 @@
+"""Scheduler-equivalence gauntlet: heap vs calendar, byte for byte.
+
+The pluggable scheduler is pure plumbing — both implementations pop
+``(time, priority, eid, event)`` entries in the identical total order,
+so every protocol must follow a byte-identical trajectory (JSONL
+traces, receipt figures, audit verdicts) whichever one the spec names.
+This suite pins that across all ten protocols, and again under the
+chaos gauntlets (churn, partition + link faults, gray degradation)
+where event-queue pressure and cancellations are heaviest.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.net.overlay import RetransmitPolicy
+from repro.obs import AuditConfig, TraceConfig, trace_to_jsonl
+from repro.streaming import (
+    ChurnPlan,
+    DetectorPolicy,
+    FaultPlan,
+    HealthPolicy,
+    LinkFaultSpec,
+    LossSpec,
+    PartitionPlan,
+    ProtocolSpec,
+    RepairPolicy,
+    SessionSpec,
+)
+from repro.streaming.spec import DetectorSpec, SchedulerSpec
+
+ALL_PROTOCOLS = [
+    "dcop",
+    "tcop",
+    "broadcast",
+    "centralized",
+    "schedule_based",
+    "single_source",
+    "unicast_chain",
+    "ams",
+    "hetero_schedule",
+    "hetero_dcop",
+]
+
+
+def config(**kw):
+    defaults = dict(
+        n=10, H=4, fault_margin=1, tau=1.0, delta=8.0,
+        content_packets=120, seed=17,
+    )
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def _params(protocol):
+    return (
+        {"bandwidths": [2.0, 1.0, 1.0, 1.0]}
+        if protocol == "hetero_schedule"
+        else {}
+    )
+
+
+def base_spec(protocol, **cfg_kw):
+    return SessionSpec(
+        config=config(**cfg_kw),
+        protocol=ProtocolSpec(protocol, _params(protocol)),
+        trace=TraceConfig(),
+        audit=AuditConfig(),
+    )
+
+
+def run_both(spec):
+    """Run one spec under each scheduler; returns (heap, calendar)."""
+    return tuple(
+        dataclasses.replace(spec, scheduler=name).run()
+        for name in ("heap", "calendar")
+    )
+
+
+def assert_byte_identical(a, b):
+    assert trace_to_jsonl(a.trace) == trace_to_jsonl(b.trace)
+    assert a.summary() == b.summary()
+    assert a.receipt_rate == b.receipt_rate
+    assert a.delivery_ratio == b.delivery_ratio
+    assert a.audit.to_dict() == b.audit.to_dict()
+    assert a == b  # dataclass equality sweeps every remaining field
+
+
+# ----------------------------------------------------------------------
+# clean runs, all ten protocols
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_heap_and_calendar_trajectories_are_byte_identical(protocol):
+    heap, calendar = run_both(base_spec(protocol))
+    assert heap.delivery_ratio == 1.0
+    assert_byte_identical(heap, calendar)
+
+
+# ----------------------------------------------------------------------
+# chaos variants: the queue-pressure worst cases
+# ----------------------------------------------------------------------
+CHAOS_PROTOCOLS = ["dcop", "tcop", "ams"]
+
+
+def churn_spec(protocol):
+    return dataclasses.replace(
+        base_spec(protocol),
+        control_loss=LossSpec("bernoulli", {"p": 0.10}),
+        churn_plan=ChurnPlan(
+            rate_per_delta=0.03, min_live=6, mean_downtime_deltas=6.0
+        ),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+    )
+
+
+def partition_spec(protocol):
+    cfg = config()
+    return dataclasses.replace(
+        base_spec(protocol),
+        link_fault=LinkFaultSpec(
+            "chaos",
+            {"dup_p": 0.1, "reorder_p": 0.2, "max_delay": 2 * cfg.delta},
+        ),
+        partition_plan=PartitionPlan(
+            components=(("CP7",),), at=60.0, heal_at=200.0
+        ),
+        retransmit_policy=RetransmitPolicy(),
+        detector_policy=DetectorPolicy(),
+    )
+
+
+def gray_spec(protocol):
+    cfg = config()
+    probe = SessionSpec(
+        config=cfg, protocol=ProtocolSpec("dcop")
+    ).build()
+    first = probe.leaf_select(cfg.H)
+    plan = (
+        FaultPlan()
+        .flap(first[0], at=60.0, down_for=4 * cfg.delta,
+              period=12 * cfg.delta, count=3)
+        .degrade(first[1], at=40.0, factor=0.1)
+    )
+    return dataclasses.replace(
+        base_spec(protocol),
+        fault_plan=plan,
+        link_fault=LinkFaultSpec(
+            "stutter", {"period": 8 * cfg.delta, "stall": 2 * cfg.delta}
+        ),
+        retransmit_policy=RetransmitPolicy(adaptive=True),
+        detector_policy=DetectorSpec("accrual"),
+        repair_policy=RepairPolicy(),
+        health_policy=HealthPolicy(),
+    )
+
+
+@pytest.mark.parametrize("protocol", CHAOS_PROTOCOLS)
+@pytest.mark.parametrize(
+    "scenario", [churn_spec, partition_spec, gray_spec],
+    ids=["churn", "partition", "gray"],
+)
+def test_chaos_trajectories_are_byte_identical(scenario, protocol):
+    heap, calendar = run_both(scenario(protocol))
+    assert heap.elapsed < 1e7
+    assert_byte_identical(heap, calendar)
+
+
+# ----------------------------------------------------------------------
+# spec-level plumbing
+# ----------------------------------------------------------------------
+def test_scheduler_spec_round_trip():
+    spec = dataclasses.replace(
+        base_spec("tcop"),
+        scheduler=SchedulerSpec("calendar", {"bucket_width": 4.0}),
+    )
+    session = spec.build()
+    sched = session.env.scheduler
+    assert sched.name == "calendar"
+    assert sched.bucket_width == 4.0
+
+
+def test_calendar_defaults_bucket_width_to_delta():
+    spec = dataclasses.replace(base_spec("tcop"), scheduler="calendar")
+    session = spec.build()
+    assert session.env.scheduler.bucket_width == spec.config.delta
+
+
+def test_unknown_scheduler_name_raises():
+    with pytest.raises(KeyError, match="heap"):
+        dataclasses.replace(base_spec("tcop"), scheduler="splay").build()
