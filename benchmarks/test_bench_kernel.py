@@ -22,8 +22,11 @@ Two companion matrices cover the PR-8 kernel overhaul:
   equivalence suite pins that); this records the relative wall cost.
 """
 
+import time
+
 from repro.core.base import ProtocolConfig
 from repro.obs.prof import ProfileConfig
+from repro.obs.trace import TraceConfig
 from repro.streaming.spec import ProtocolSpec, SessionSpec
 
 #: (contents peers, content packets) — grows each axis separately
@@ -240,3 +243,72 @@ def test_bench_kernel_scheduler_matrix(benchmark, bench_scalars):
     )
     assert heap.profile.heap_peak == calendar.profile.heap_peak
     assert heap.summary() == calendar.summary()
+
+
+# ----------------------------------------------------------------------
+# lazy trace payloads
+# ----------------------------------------------------------------------
+def _run_traced_cell(trace):
+    spec = SessionSpec(
+        config=ProtocolConfig(
+            n=20, H=4, fault_margin=1, seed=0, content_packets=2000
+        ),
+        protocol=ProtocolSpec("single_source", {}),
+        trace=trace,
+    )
+    return spec.run()
+
+
+def test_bench_kernel_lazy_trace(benchmark, bench_scalars):
+    """Cost of tracing a media-dominant cell at three filter widths.
+
+    ``TraceBus.emit`` materializes the payload tuple and the
+    :class:`TraceEvent` lazily — when the kind's category is filtered
+    out and nobody subscribed, it returns right after the counter
+    updates.  A narrow filter on a media firehose should therefore cost
+    a small fraction of a full trace.  Wall ratios are informational
+    (``wall`` keys); the stored-event counts and per-kind totals are
+    trajectory-derived and exact-compared by regress.
+    """
+    def cells():
+        out = []
+        for name, trace in (
+            ("off", None),
+            ("lazy", TraceConfig(categories=frozenset({"wave"}))),
+            ("full", TraceConfig()),
+        ):
+            t0 = time.perf_counter()
+            result = _run_traced_cell(trace)
+            out.append((name, result, time.perf_counter() - t0))
+        return out
+
+    results = benchmark.pedantic(cells, rounds=1, iterations=1)
+
+    print()
+    by_name = {}
+    for name, result, wall in results:
+        bus = result.trace
+        stored = len(bus.events) if bus is not None else 0
+        emitted = (
+            sum(bus.counts_by_kind.values()) if bus is not None else 0
+        )
+        print(
+            f"{name:>6}: {wall:.3f} s wall, "
+            f"{stored} stored / {emitted} emitted"
+        )
+        by_name[name] = (result, wall, stored, emitted)
+        if bus is not None:
+            bench_scalars[f"trace_events_stored_{name}"] = stored
+            bench_scalars[f"trace_events_emitted_{name}"] = emitted
+    for name in ("lazy", "full"):
+        bench_scalars[f"trace_overhead_wall_x_{name}"] = round(
+            by_name[name][1] / by_name["off"][1], 2
+        )
+
+    # tracing is passive at any filter width: identical trajectories
+    off, lazy, full = (by_name[k][0] for k in ("off", "lazy", "full"))
+    assert off.summary() == lazy.summary() == full.summary()
+    # the filter rejected the media firehose from the log but the
+    # pre-filter counters still saw every packet emit
+    assert by_name["lazy"][2] < by_name["full"][2] // 10
+    assert by_name["lazy"][3] == by_name["full"][3]

@@ -390,6 +390,47 @@ def _run_perf(args) -> int:
     return 0
 
 
+def _run_spans(args) -> int:
+    """``spans`` subcommand: causal spans + critical-path attribution."""
+    import dataclasses
+
+    from repro.obs import write_chrome_trace
+    from repro.obs.spans import SpanConfig, spans_from_jsonl
+
+    if args.from_jsonl:
+        source = Path(args.from_jsonl)
+        if not source.exists():
+            return _fail(f"trace file not found: {source}")
+        report = spans_from_jsonl(source, config=SpanConfig())
+        bus = None
+    else:
+        spec = _build_session_spec(args)
+        if isinstance(spec, int):
+            return spec
+        # playback on, so journeys extend through buffer consumption
+        spec = dataclasses.replace(spec, playback=True, spans=SpanConfig())
+        result = spec.run()
+        report = result.spans
+        assert report is not None and not isinstance(report, dict)
+        bus = result.trace
+        print(result.summary())
+
+    print(report.summary(top=args.top))
+    if args.critical_path:
+        print(report.render_critical_path())
+    if args.report_out:
+        report.write(_ensure_parent(args.report_out))
+        print(f"wrote span report to {args.report_out}", file=sys.stderr)
+    if args.trace_out and bus is not None:
+        write_chrome_trace(bus, _ensure_parent(args.trace_out), spans=report)
+        print(
+            f"wrote Chrome trace-event JSON (+ span tracks) to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_regress(args) -> int:
     """``regress`` subcommand: diff fresh artifacts against a baseline."""
     from repro.experiments.regress import compare_dirs, parse_scalar_gate
@@ -436,12 +477,13 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "fig10", "fig11", "fig12", "ablations", "all",
-            "trace", "audit", "perf", "regress",
+            "trace", "audit", "perf", "spans", "regress",
         ],
         help=(
             "which figure/ablation to run, 'trace' for one traced run, "
             "'audit' to run the protocol auditors, 'perf' for one "
-            "profiled run, 'regress' to diff artifact directories"
+            "profiled run, 'spans' for causal spans + latency "
+            "attribution, 'regress' to diff artifact directories"
         ),
     )
     parser.add_argument(
@@ -575,6 +617,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="hottest callback sites to list in the summary (default 10)",
     )
+    spans_group = parser.add_argument_group(
+        "spans", "options for the 'spans' subcommand"
+    )
+    spans_group.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the coordination and playback critical-path segments",
+    )
     regress_group = parser.add_argument_group(
         "regress", "options for the 'regress' subcommand"
     )
@@ -616,6 +666,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_audit(args)
     if args.experiment == "perf":
         return _run_perf(args)
+    if args.experiment == "spans":
+        return _run_spans(args)
     if args.experiment == "regress":
         return _run_regress(args)
 

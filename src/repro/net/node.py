@@ -44,24 +44,30 @@ class Node:
         if self.down:
             self.dropped_while_down += 1
             if tracer is not None:
+                link = {"mid": message.msg_id} if message.msg_id is not None else {}
                 tracer.emit(
                     "msg.drop",
                     self.node_id,
                     kind=message.kind,
                     src=message.src,
                     reason="dst_down",
+                    uid=message.uid,
+                    **link,
                 )
             return
         if tracer is not None:
+            # uid/mid mirror the matching msg.send so span builders can
+            # join the two ends of the wire without heuristics
+            link = {"mid": message.msg_id} if message.msg_id is not None else {}
             if duplicate:
                 tracer.emit(
                     "msg.recv", self.node_id, kind=message.kind,
-                    src=message.src, dup=1,
+                    src=message.src, dup=1, uid=message.uid, **link,
                 )
             else:
                 tracer.emit(
                     "msg.recv", self.node_id, kind=message.kind,
-                    src=message.src,
+                    src=message.src, uid=message.uid, **link,
                 )
         if self.on_deliver is not None:
             self.on_deliver(message)

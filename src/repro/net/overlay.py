@@ -235,7 +235,7 @@ class ControlPlane:
             if self.env.hooks.tracer is not None:
                 self.env.hooks.tracer.emit(
                     "msg.retransmit", src, dst=dst, kind=kind,
-                    attempt=_attempt + 1,
+                    attempt=_attempt + 1, mid=mid,
                 )
             self.overlay.send(
                 src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid
@@ -245,7 +245,9 @@ class ControlPlane:
         self._meta.pop(mid, None)
         self.overlay.traffic.give_ups_by_kind[kind] += 1
         if self.env.hooks.tracer is not None:
-            self.env.hooks.tracer.emit("msg.give_up", src, dst=dst, kind=kind)
+            self.env.hooks.tracer.emit(
+                "msg.give_up", src, dst=dst, kind=kind, mid=mid
+            )
         if self.on_give_up is not None:
             self.on_give_up(src, dst, kind, body)
 
@@ -263,6 +265,13 @@ class ControlPlane:
             meta = self._meta.pop(message.body, None)
             if acked is not None and not acked.triggered:
                 acked.succeed()
+                if self.env.hooks.tracer is not None:
+                    # close of the reliable exchange: the sender observed
+                    # the first ack for this mid
+                    self.env.hooks.tracer.emit(
+                        "msg.ack", message.dst,
+                        mid=message.body, src=message.src,
+                    )
                 if meta is not None and not meta[2]:
                     # first ack of a never-retransmitted send: a clean
                     # RTT sample (Karn's rule filtered the rest)
@@ -463,20 +472,26 @@ class Overlay:
         )
         self.traffic.sent_by_kind[kind] += 1
         self.traffic.send_log.append((kind, self.env.now, src, dst))
+        # causal-linkage payload: the wire uid (and the control-plane mid
+        # when the send is reliable) lets span builders stitch this send
+        # to its receive/drop/ack without guessing by (src, dst, kind)
+        link = {"mid": msg_id} if msg_id is not None else {}
         if tracer is not None:
-            tracer.emit("msg.send", src, dst=dst, kind=kind)
+            tracer.emit("msg.send", src, dst=dst, kind=kind, uid=msg.uid, **link)
         if (src, dst) in self._severed:
             self.traffic.dropped_by_kind[kind] += 1
             if tracer is not None:
                 tracer.emit(
-                    "msg.drop", src, dst=dst, kind=kind, reason="link_severed"
+                    "msg.drop", src, dst=dst, kind=kind,
+                    reason="link_severed", uid=msg.uid, **link,
                 )
             return msg
         if kind != "packet" and self._control_drops(src, dst):
             self.traffic.dropped_by_kind[kind] += 1
             if tracer is not None:
                 tracer.emit(
-                    "msg.drop", src, dst=dst, kind=kind, reason="control_loss"
+                    "msg.drop", src, dst=dst, kind=kind,
+                    reason="control_loss", uid=msg.uid, **link,
                 )
             return msg
         ch = self.channel(src, dst)
@@ -487,7 +502,8 @@ class Overlay:
             self.traffic.dropped_by_kind[kind] += 1
             if tracer is not None:
                 tracer.emit(
-                    "msg.drop", src, dst=dst, kind=kind, reason="channel_loss"
+                    "msg.drop", src, dst=dst, kind=kind,
+                    reason="channel_loss", uid=msg.uid, **link,
                 )
         else:
             self.traffic.delivered_by_kind[kind] += 1
@@ -530,7 +546,7 @@ class Overlay:
         self.traffic.sent_by_kind["packet"] += k
         self.traffic.send_log.append(("packet", self.env.now, src, dst))
         if tracer is not None:
-            tracer.emit("msg.send", src, dst=dst, kind="packet", count=k)
+            tracer.emit("msg.send", src, dst=dst, kind="packet", count=k, uid=msg.uid)
         if (src, dst) in self._severed:
             self.traffic.dropped_by_kind["packet"] += k
             if tracer is not None:

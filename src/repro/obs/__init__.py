@@ -17,7 +17,10 @@ untouched.
   invariants against the live event stream, with JSON audit reports;
 * :mod:`repro.obs.prof` — the instrumenting simulator profiler:
   wall-time attribution by subsystem/callback site/event kind, scheduler
-  and resource telemetry, flamegraph and Perfetto-counter export.
+  and resource telemetry, flamegraph and Perfetto-counter export;
+* :mod:`repro.obs.spans` — causal span construction over the event
+  stream: per-packet latency decomposition, critical-path attribution,
+  per-leaf QoE timelines, Perfetto async span export.
 """
 
 from repro.obs.audit import (
@@ -45,12 +48,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.prof import ProfileConfig, ProfileReport, SimProfiler
+from repro.obs.spans import (
+    SpanBuilder,
+    SpanConfig,
+    SpanReport,
+    spans_from_jsonl,
+)
 from repro.obs.trace import CONTROL_KINDS, TraceBus, TraceConfig, TraceEvent
 from repro.obs.timeline import wave_timeline
 from repro.obs.exporters import (
     profile_counter_events,
     profile_to_collapsed,
     run_summary,
+    span_async_events,
     trace_to_chrome,
     trace_to_jsonl,
     write_chrome_trace,
@@ -77,6 +87,9 @@ __all__ = [
     "ProfileConfig",
     "ProfileReport",
     "SimProfiler",
+    "SpanBuilder",
+    "SpanConfig",
+    "SpanReport",
     "TraceBus",
     "TraceConfig",
     "TraceEvent",
@@ -89,6 +102,8 @@ __all__ = [
     "register_auditor",
     "replay_jsonl",
     "run_summary",
+    "span_async_events",
+    "spans_from_jsonl",
     "summarize_audits",
     "trace_to_chrome",
     "trace_to_jsonl",

@@ -1253,6 +1253,10 @@ def replay_jsonl(
         ts = record.pop("ts")
         kind = record.pop("kind")
         subject = record.pop("subject")
+        # the exporter renames a payload ``kind`` (message kind) to
+        # ``msg_kind`` so it cannot shadow the event kind; undo that
+        if "msg_kind" in record:
+            record["kind"] = record.pop("msg_kind")
         data = tuple(
             sorted((k, _tuplify(v)) for k, v in record.items())
         )

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.prof import ProfileReport
+    from repro.obs.spans import SpanReport
     from repro.obs.trace import TraceBus, TraceEvent
     from repro.streaming.session import SessionResult
 
@@ -38,12 +39,22 @@ _US_PER_MS = 1000
 # JSONL
 # ----------------------------------------------------------------------
 def event_to_dict(event: "TraceEvent") -> Dict[str, Any]:
-    return {
-        "ts": event.ts,
-        "kind": event.kind,
-        "subject": event.subject,
-        **event.payload(),
-    }
+    """One event as a flat JSON object.
+
+    ``msg.*`` payloads carry a ``kind`` field of their own (the message
+    kind — ``request``, ``packet``, …) which would shadow the event kind
+    in the flat record; it is exported as ``msg_kind`` and the replay
+    parsers (:func:`repro.obs.audit.replay_jsonl`,
+    :func:`repro.obs.spans.spans_from_jsonl`) map it back.
+    """
+    data = event.payload()
+    msg_kind = data.pop("kind", None)
+    if msg_kind is not None:
+        data["msg_kind"] = msg_kind
+    data["ts"] = event.ts
+    data["kind"] = event.kind
+    data["subject"] = event.subject
+    return data
 
 
 def trace_to_jsonl(bus: "TraceBus") -> str:
@@ -63,7 +74,9 @@ def write_jsonl(bus: "TraceBus", path: Union[str, Path]) -> None:
 # Chrome trace_event format
 # ----------------------------------------------------------------------
 def trace_to_chrome(
-    bus: "TraceBus", profile: Optional["ProfileReport"] = None
+    bus: "TraceBus",
+    profile: Optional["ProfileReport"] = None,
+    spans: Optional["SpanReport"] = None,
 ) -> Dict[str, Any]:
     """Convert to the Chrome ``trace_event`` JSON object format.
 
@@ -77,6 +90,12 @@ def trace_to_chrome(
     deterministic sim-time samples are appended as Perfetto **counter
     tracks** (``ph: "C"``) — heap depth and cumulative events processed
     against the same simulated timeline as the event tracks.
+
+    With ``spans`` (a span-enabled run's
+    :class:`~repro.obs.spans.SpanReport`), the report's wave spans,
+    slowest control exchanges, slowest packet journeys, and critical-path
+    segments are appended as Perfetto **async span tracks** (``ph:
+    "b"``/``"e"``) via :func:`span_async_events`.
     """
     tids: Dict[str, int] = {}
     events: List[Dict[str, Any]] = []
@@ -172,6 +191,8 @@ def trace_to_chrome(
         )
     if profile is not None:
         events.extend(profile_counter_events(profile))
+    if spans is not None:
+        events.extend(span_async_events(spans))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -205,14 +226,118 @@ def profile_counter_events(profile: "ProfileReport") -> List[Dict[str, Any]]:
     return events
 
 
+def span_async_events(report: "SpanReport") -> List[Dict[str, Any]]:
+    """A span report's spans as Chrome/Perfetto async (``b``/``e``) events.
+
+    Each span family gets its own category — ``span.wave`` (one async
+    span per flooding round), ``span.ctrl`` (the report's slowest control
+    exchanges, args carrying attempts/outcome), ``span.packet`` (the
+    slowest packet journeys, args carrying the latency decomposition),
+    and ``span.path`` (critical-path segments, coordination and
+    playback) — so Perfetto renders each as a separate span track.
+    Aggregates always cover every span; these tracks visualize the
+    report-retained subset.
+    """
+    events: List[Dict[str, Any]] = []
+
+    def span(
+        cat: str,
+        span_id: Union[int, str],
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        begin: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "b",
+            "id": str(span_id),
+            "pid": 1,
+            "tid": 0,
+            "ts": int(round(start_ms * _US_PER_MS)),
+        }
+        if args:
+            begin["args"] = args
+        events.append(begin)
+        events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "e",
+                "id": str(span_id),
+                "pid": 1,
+                "tid": 0,
+                "ts": int(round(end_ms * _US_PER_MS)),
+            }
+        )
+
+    for w in report.waves:
+        span(
+            "span.wave",
+            w.round,
+            f"wave {w.round}",
+            w.start_ms,
+            w.end_ms,
+            {"activated": w.activated, "last_peer": w.last_peer},
+        )
+    for e in report.exchanges:
+        end = e.acked_ms
+        if end is None:
+            end = e.gave_up_ms if e.gave_up_ms is not None else e.last_send_ms
+        span(
+            "span.ctrl",
+            e.mid,
+            f"{e.kind} {e.src}->{e.dst}",
+            e.sent_ms,
+            end,
+            {"attempts": e.attempts, "outcome": e.outcome, "mid": e.mid},
+        )
+    for j in report.packets:
+        if j.tx_first_ms is None or j.end_ms is None:
+            continue
+        span(
+            "span.packet",
+            f"pkt-{j.label}",
+            f"packet {j.label}",
+            j.tx_first_ms,
+            j.end_ms,
+            {
+                "outcome": j.outcome,
+                "src": j.src,
+                "e2e_ms": j.e2e_ms,
+                "retransmit_ms": j.retransmit_ms,
+                "queue_ms": j.queue_ms,
+                "wire_ms": j.wire_ms,
+                "fec_ms": j.fec_ms,
+                "buffer_ms": j.buffer_ms,
+            },
+        )
+    for title, segments in (
+        ("coordination", report.coordination_path),
+        ("playback", report.playback_path),
+    ):
+        for i, seg in enumerate(segments):
+            span(
+                f"span.path.{title}",
+                f"{title}-{i}",
+                seg.name,
+                seg.start_ms,
+                seg.end_ms,
+                {"actor": seg.actor},
+            )
+    return events
+
+
 def write_chrome_trace(
     bus: "TraceBus",
     path: Union[str, Path],
     profile: Optional["ProfileReport"] = None,
+    spans: Optional["SpanReport"] = None,
 ) -> None:
     Path(path).write_text(
         json.dumps(
-            trace_to_chrome(bus, profile=profile),
+            trace_to_chrome(bus, profile=profile, spans=spans),
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -257,6 +382,9 @@ def run_summary(result: "SessionResult") -> Dict[str, Any]:
         summary["profile"] = (
             profile if isinstance(profile, dict) else profile.to_dict()
         )
+    spans = result.spans
+    if spans is not None:
+        summary["spans"] = spans if isinstance(spans, dict) else spans.to_dict()
     return summary
 
 

@@ -19,6 +19,7 @@ category   kinds
 ========== =====================================================
 ``msg``    ``msg.send`` ``msg.recv`` ``msg.drop``
            ``msg.retransmit`` ``msg.give_up``
+           ``msg.ack`` (sender observed the first ack of a reliable mid)
            ``msg.dedup`` (agent suppressed a link-fault duplicate)
 ``peer``   ``peer.activate`` ``peer.crash`` ``peer.rejoin``
            ``peer.stream_start``
@@ -28,6 +29,7 @@ category   kinds
            (the gray-failure circuit breaker's state changes)
 ``buffer`` ``buffer.underrun`` ``buffer.overrun``
            ``buffer.skip`` (playback gave a stalled packet up)
+           ``buffer.play`` (playback consumed a frame)
 ``recoord`` ``recoord.reissue``
 ``media``  ``media.tx`` ``media.rx`` (per-packet stream plane)
 ``fec``    ``fec.recover`` (parity reconstruction of a lost packet)
@@ -157,6 +159,10 @@ class TraceBus:
     )
     #: highest flooding round a ``wave.start`` was recorded for
     _waves_seen: set = field(default_factory=set)
+    #: memoized per-kind ``config.wants`` verdicts — the kind universe is
+    #: tiny and fixed, so one dict probe replaces a string split + set
+    #: lookup on the per-event hot path
+    _wants_cache: Dict[str, bool] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
@@ -181,8 +187,19 @@ class TraceBus:
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, subject: str, /, **data: Any) -> None:
-        """Record one event at the current simulated time."""
-        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+        """Record one event at the current simulated time.
+
+        Payload materialization is lazy: when the kind is filtered out and
+        nobody subscribed, the method returns before building the sorted
+        payload tuple or the :class:`TraceEvent` — filtered firehose
+        categories then cost only the counter updates below.
+        """
+        # batched media emits cover ``count`` packets in one event; the
+        # per-kind counters stay packet-accurate either way, so batched
+        # and unbatched runs of one spec report identical totals
+        self.counts_by_kind[kind] = (
+            self.counts_by_kind.get(kind, 0) + data.get("count", 1)
+        )
         if kind == "msg.send":
             if data.get("kind") in CONTROL_KINDS:
                 self.in_flight_control += 1
@@ -208,7 +225,9 @@ class TraceBus:
                 and self.in_flight_control > 0
             ):
                 self.in_flight_control -= 1
-        stored = self.config.wants(kind)
+        stored = self._wants_cache.get(kind)
+        if stored is None:
+            stored = self._wants_cache[kind] = self.config.wants(kind)
         if stored and len(self.events) >= self.config.max_events:
             self.dropped_events += 1
             stored = False

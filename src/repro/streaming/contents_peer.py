@@ -254,10 +254,13 @@ class ContentsPeerAgent:
                 return
             tracer = self.env.hooks.tracer
             if tracer is not None:
-                for pkt in pkts:
+                # ``off`` is the packet's nominal send offset inside the
+                # batch (j·period): span builders charge it to queueing
+                # behind the batch rather than to the wire
+                for j, pkt in enumerate(pkts):
                     tracer.emit(
                         "media.tx", self.peer_id,
-                        label=pkt.label, stream=stream_id,
+                        label=pkt.label, stream=stream_id, off=j * period,
                     )
             if len(pkts) == 1:
                 # a slot worth less than two packets (deeply divided

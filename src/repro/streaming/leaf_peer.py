@@ -83,11 +83,18 @@ class LeafPeerAgent:
             detector.touch(message.src)
         if message.kind == "packet_batch":
             # batched media plane: unbatch into the identical per-packet
-            # pipeline (admission, media.rx, arrival stats, decoder)
+            # pipeline (admission, media.rx, arrival stats, decoder).
+            # offsets_ms holds each copy's arrival time relative to the
+            # batch send instant; the whole batch is delivered at the last
+            # arrival, so (now - sent_at - offset) is the time this packet
+            # spent coalesced behind slower batch-mates.
             now = self.env.now
             src = message.src
-            for pkt in message.body.packets:
-                self._accept_media(pkt, src, now)
+            batch = message.body
+            offsets = batch.offsets_ms
+            for i, pkt in enumerate(batch.packets):
+                wait = now - (message.sent_at + float(offsets[i]))
+                self._accept_media(pkt, src, now, wait=wait)
             return
         if message.kind != "packet":
             if self.session.intercept_control(message):
@@ -108,9 +115,15 @@ class LeafPeerAgent:
             return
         self._accept_media(message.body, message.src, self.env.now)
 
-    def _accept_media(self, pkt, src: str, now: float) -> None:
+    def _accept_media(
+        self, pkt, src: str, now: float, wait: Optional[float] = None
+    ) -> None:
         """One media packet through admission, stats, and the decoder —
-        shared verbatim by the per-packet and batched delivery paths."""
+        shared verbatim by the per-packet and batched delivery paths.
+
+        ``wait`` (batched deliveries only) is the time the packet spent
+        coalesced behind its batch-mates; it rides on the ``media.rx``
+        payload so span builders can separate it from wire latency."""
         if self._rho is not None and not self._admit(now):
             self.receive_overruns += 1
             if self.env.hooks.tracer is not None:
@@ -119,9 +132,15 @@ class LeafPeerAgent:
                 )
             return
         if self.env.hooks.tracer is not None:
-            self.env.hooks.tracer.emit(
-                "media.rx", self.peer_id, label=pkt.label, src=src
-            )
+            if wait is None:
+                self.env.hooks.tracer.emit(
+                    "media.rx", self.peer_id, label=pkt.label, src=src
+                )
+            else:
+                self.env.hooks.tracer.emit(
+                    "media.rx", self.peer_id, label=pkt.label, src=src,
+                    wait=wait,
+                )
         self.arrival_times.append(now)
         self.arrivals_by_src[src] = self.arrivals_by_src.get(src, 0) + 1
         if self.first_arrival is None:
@@ -169,7 +188,14 @@ class LeafPeerAgent:
         yield self.env.timeout(delay)
         while not self.buffer.finished:
             played = self.buffer.play_next(self.env.now)
-            if played is None:
+            if played is not None:
+                if self.env.hooks.tracer is not None:
+                    # playback consumed a frame: the tail event of a
+                    # packet's causal journey (tx → rx → play)
+                    self.env.hooks.tracer.emit(
+                        "buffer.play", self.peer_id, seq=played
+                    )
+            else:
                 if self.env.hooks.tracer is not None:
                     self.env.hooks.tracer.emit(
                         "buffer.underrun",

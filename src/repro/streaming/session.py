@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.audit import AuditConfig, AuditReport, Auditor
     from repro.obs.prof import ProfileReport, SimProfiler
+    from repro.obs.spans import SpanBuilder, SpanReport
     from repro.streaming.adaptive import RateAdaptationMonitor, RateAdaptationPolicy
     from repro.streaming.health import HealthMonitor
     from repro.streaming.repair import RepairMonitor, RepairPolicy
@@ -124,6 +125,11 @@ class SessionResult:
     profile: Union["ProfileReport", Dict[str, Any], None] = field(
         default=None, repr=False, compare=False
     )
+    #: per-run :class:`~repro.obs.spans.SpanReport` (present only when
+    #: span building was enabled) — or, after :meth:`detach`, its dict form
+    spans: Union["SpanReport", Dict[str, Any], None] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_active(self) -> bool:
@@ -169,12 +175,16 @@ class SessionResult:
         timeseries = self.timeseries
         audit = self.audit
         profile = self.profile
+        spans = self.spans
         detached = False
         if audit is not None and not isinstance(audit, dict):
             audit = audit.to_dict()
             detached = True
         if profile is not None and not isinstance(profile, dict):
             profile = profile.to_dict()
+            detached = True
+        if spans is not None and not isinstance(spans, dict):
+            spans = spans.to_dict()
             detached = True
         if isinstance(trace, TraceBus):
             from repro.obs.exporters import event_to_dict
@@ -200,6 +210,7 @@ class SessionResult:
             timeseries=timeseries,
             audit=audit,
             profile=profile,
+            spans=spans,
         )
 
 
@@ -317,8 +328,10 @@ class StreamingSession:
         churn_plan = spec.churn_plan
         trace = spec.trace
         audit = spec.audit
-        if audit is not None and trace is None:
-            # auditors subscribe to the bus, so auditing implies tracing
+        spans = spec.spans if spec.spans is not False else None
+        if (audit is not None or spans is not None) and trace is None:
+            # auditors and span builders subscribe to the bus, so either
+            # implies tracing
             trace = TraceConfig()
 
         self.spec = spec
@@ -468,6 +481,16 @@ class StreamingSession:
             for auditor in self.auditors:
                 auditor.bind(self.trace_bus, self)
                 self.trace_bus.subscribe(auditor.on_event)
+        # --- causal span builder (read-only subscriber; opt-in) --------
+        self.span_builder: Optional["SpanBuilder"] = None
+        if spans is not None:
+            from repro.obs.spans import SpanBuilder, SpanConfig
+
+            if spans is True:
+                spans = SpanConfig()
+            self.span_builder = SpanBuilder(spans)
+            self.span_builder.bind(self.trace_bus, self)
+            self.trace_bus.subscribe(self.span_builder.on_event)
 
     # ------------------------------------------------------------------
     # observability
@@ -719,6 +742,11 @@ class StreamingSession:
             self._audit_report = AuditReport.from_auditors(
                 self.protocol.name, cfg.seed, self.auditors
             )
+        spans_report = None
+        if self.span_builder is not None:
+            # like the auditors: before finalize(), reading only — the
+            # builder never perturbs the trajectory
+            spans_report = self.span_builder.finish(self)
         if self.trace_bus is not None:
             self.trace_bus.finalize()
             if self.metrics_registry is not None:
@@ -796,6 +824,7 @@ class StreamingSession:
                 if self.profiler is not None
                 else None
             ),
+            spans=spans_report,
         )
 
     def __repr__(self) -> str:

@@ -81,6 +81,7 @@ from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
 from repro.obs.audit import AuditConfig
 from repro.obs.prof import ProfileConfig
+from repro.obs.spans import SpanConfig
 from repro.obs.trace import TraceConfig
 from repro.sim.sched import (
     SCHEDULERS as _SCHEDULER_REGISTRY,
@@ -616,6 +617,10 @@ class SessionSpec:
     #: per-packet delivery).  Batching preserves receipt/delivery
     #: semantics but is a *different* (coarser-grained) trajectory.
     media_batch: float = 0.0
+    #: causal span tracing (``True`` for defaults); implies a default
+    #: trace when none is set.  Passive — span-enabled runs follow
+    #: byte-identical trajectories (see :mod:`repro.obs.spans`)
+    spans: Union[SpanConfig, bool, None] = None
 
     #: legacy ``StreamingSession`` kwarg → spec field renames
     _KWARG_ALIASES = {

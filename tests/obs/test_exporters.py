@@ -204,6 +204,78 @@ def test_chrome_trace_matches_golden_file():
     assert doc == json.loads(golden_path.read_text())
 
 
+def _golden_batched_spec():
+    """A media-dominant cell where per-slot batches really form, traced
+    with the media/msg firehose so the batch payloads (``off``, ``wait``,
+    ``count``) land in the export."""
+    from repro.streaming.spec import ProtocolSpec, SessionSpec
+
+    return SessionSpec(
+        config=ProtocolConfig(
+            n=6, H=3, fault_margin=1, content_packets=40, seed=3
+        ),
+        protocol=ProtocolSpec("single_source", {}),
+        media_batch=2.0,
+        trace=TraceConfig(
+            categories=frozenset({"wave", "peer", "media", "msg"})
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def batched_traced_result():
+    return _golden_batched_spec().run()
+
+
+def test_jsonl_under_batched_media(batched_traced_result):
+    """Batched deliveries serialize byte-stably (the per-packet batch
+    offsets are numpy floats) and carry the batch-plane payloads."""
+    bus = batched_traced_result.trace
+    text = trace_to_jsonl(bus)
+    lines = text.splitlines()
+    assert len(lines) == len(bus.events)
+    for line in lines:
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+    records = [json.loads(line) for line in lines]
+    # every batched media.rx charges its coalescing wait; media.tx its
+    # nominal in-batch send offset; batch sends cover >1 packet
+    rx = [r for r in records if r["kind"] == "media.rx"]
+    assert rx and all("wait" in r for r in rx)
+    tx = [r for r in records if r["kind"] == "media.tx"]
+    assert tx and all("off" in r for r in tx)
+    assert any(r.get("count", 1) > 1 for r in records)
+    # per-kind counters stay packet-accurate under batching
+    assert bus.counts_by_kind["media.rx"] == len(rx)
+
+
+def test_chrome_and_timeline_under_batched_media(batched_traced_result):
+    result = batched_traced_result
+    doc = trace_to_chrome(result.trace)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instants
+    for e in instants:
+        assert isinstance(e["ts"], int)
+    # the wave timeline covers the run's rounds, batched plane or not
+    table = wave_timeline(result.trace)
+    assert len(table.rows) == result.rounds
+
+
+def test_chrome_trace_matches_golden_batched_file():
+    """Same contract as the unbatched golden, for the batched media
+    plane: pins the batch payload fields (``off``/``wait``/``count``)
+    and the numpy-float timestamp serialization, byte for byte."""
+    from pathlib import Path
+
+    golden_path = (
+        Path(__file__).parent / "data" / "golden_chrome_batched.json"
+    )
+    result = _golden_batched_spec().run()
+    doc = trace_to_chrome(result.trace)
+    assert doc == json.loads(golden_path.read_text())
+
+
 def test_chrome_profile_counter_tracks(traced_result):
     """Counter events land on the metadata track and mirror the
     profiler's deterministic sample arrays."""
