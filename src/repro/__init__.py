@@ -39,12 +39,15 @@ from repro.core import (
     UnicastChainCoordination,
 )
 from repro.media import MediaContent
+from repro.net.capacity import CapacityPolicy
 from repro.net.overlay import RetransmitPolicy
 from repro.obs import AuditConfig, AuditReport, TraceConfig
 from repro.streaming import (
+    AdmissionPolicy,
     ChurnPlan,
     DetectorPolicy,
     FaultPlan,
+    JoinStormPlan,
     LatencySpec,
     LinkCut,
     LinkFaultSpec,
@@ -54,19 +57,24 @@ from repro.streaming import (
     SessionResult,
     SessionSpec,
     StreamingSession,
+    SwarmResult,
+    SwarmSpec,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "AuditConfig",
     "AuditReport",
     "BroadcastCoordination",
+    "CapacityPolicy",
     "CentralizedCoordination",
     "ChurnPlan",
     "DCoP",
     "DetectorPolicy",
     "FaultPlan",
+    "JoinStormPlan",
     "RetransmitPolicy",
     "LatencySpec",
     "LinkCut",
@@ -81,6 +89,8 @@ __all__ = [
     "ScheduleBasedCoordination",
     "SingleSourceStreaming",
     "StreamingSession",
+    "SwarmResult",
+    "SwarmSpec",
     "TCoP",
     "TraceConfig",
     "UnicastChainCoordination",

@@ -130,6 +130,7 @@ class AMSCoordination(CoordinationProtocol):
             group=list(session.peer_ids),
             deliver=deliver,
             size_bytes=session.config.control_size,
+            ctx=session.ctx,
         )
         agent.env.process(self._state_loop(agent, stream))
 

@@ -28,6 +28,8 @@ from repro.experiments.parallel import (
     ProgressTick,
     SerialExecutor,
     SweepError,
+    auto_executor,
+    available_cores,
     run_specs,
 )
 from repro.experiments.runner import replication_specs, run_session, sweep
@@ -43,6 +45,7 @@ from repro.experiments.ablations import (
     run_heterogeneous,
     run_loss_recovery,
     run_multi_leaf,
+    run_overload,
     run_parity_sweep,
     run_partition,
     run_protocol_comparison,
@@ -61,6 +64,8 @@ __all__ = [
     "Regression",
     "SerialExecutor",
     "SweepError",
+    "auto_executor",
+    "available_cores",
     "compare_audit_reports",
     "compare_bench",
     "compare_dirs",
@@ -77,6 +82,7 @@ __all__ = [
     "run_heterogeneous",
     "run_loss_recovery",
     "run_multi_leaf",
+    "run_overload",
     "run_parity_sweep",
     "run_partition",
     "run_protocol_comparison",

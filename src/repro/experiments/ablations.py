@@ -31,6 +31,9 @@
 * EX-N :func:`run_gray` — gray-failure gauntlet (flapping, rate-degraded,
   and stuttering peers that never cleanly die): receipt with the peer
   quarantine circuit breaker on vs off, for every protocol.
+* EX-O :func:`run_overload` — flash-crowd join storms against finite
+  per-peer upload budgets: receipt ratio vs arrival rate with swarm
+  admission control on vs off.
 
 Every entry point describes its runs as declarative
 :class:`~repro.streaming.spec.SessionSpec` values; the independent-cell
@@ -962,5 +965,90 @@ def run_gray(
                 else None
             ),
             false_suspects=on.false_suspicions,
+        )
+    return series
+
+
+def run_overload(
+    arrival_rates: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    leaves: int = 8,
+    n: int = 6,
+    H: int = 3,
+    content_packets: int = 60,
+    delta: float = 8.0,
+    packets_per_delta: float = 6.0,
+    seed: int = 17,
+    executor=None,
+) -> SweepSeries:
+    """EX-O: flash-crowd overload — receipt vs arrival rate, admission
+    on vs off.
+
+    A swarm of ``leaves`` leaf peers joins one shared overlay as a
+    Poisson process whose rate sweeps from a trickle to a flash crowd,
+    while every contents peer is capped at ``packets_per_delta`` uplink
+    sends per δ.  The admission-on arm refuses joins the reachable pool
+    cannot carry (refused leaves back off and retry); the off arm lets
+    everyone in and shares the pain through queueing and shedding.
+    Receipt is averaged over *all* arrivals with gave-up leaves counted
+    as zero, so admission cannot win by serving fewer leaves — the on
+    curve must still be no worse than off at every load point.  Each
+    (rate, arm) cell is an independent :class:`~repro.streaming.swarm.
+    SwarmSpec`, so ``executor`` fans the sweep out across cores.
+    """
+    from repro.net.capacity import CapacityPolicy
+    from repro.streaming.faults import JoinStormPlan
+    from repro.streaming.swarm import AdmissionPolicy, SwarmSpec
+
+    series = SweepSeries(
+        "rate_per_delta",
+        [
+            "receipt_on", "receipt_off", "admitted_on", "gave_up_on",
+            "retries_on", "shed_on", "shed_off", "audit_on", "audit_off",
+        ],
+        title=(
+            f"EX-O — receipt under join storms, admission on vs off "
+            f"(leaves={leaves}, n={n}, H={H}, "
+            f"cap={packets_per_delta}/δ)"
+        ),
+    )
+
+    def spec_for(rate: float, admission: bool) -> SwarmSpec:
+        return SwarmSpec(
+            session=SessionSpec(
+                config=ProtocolConfig(
+                    n=n,
+                    H=H,
+                    fault_margin=1,
+                    content_packets=content_packets,
+                    delta=delta,
+                    seed=seed,
+                ),
+                protocol=ProtocolSpec("dcop"),
+            ),
+            join_plan=JoinStormPlan(leaves=leaves, rate_per_delta=rate),
+            capacity=CapacityPolicy(packets_per_delta=packets_per_delta),
+            admission=AdmissionPolicy() if admission else None,
+        )
+
+    specs = [
+        spec_for(rate, admission)
+        for rate in arrival_rates
+        for admission in (True, False)
+    ]
+    results = iter(run_specs(specs, executor=executor))
+    for rate in arrival_rates:
+        on = next(results)
+        off = next(results)
+        series.add(
+            rate,
+            receipt_on=round(on.mean_receipt_all, 4),
+            receipt_off=round(off.mean_receipt_all, 4),
+            admitted_on=on.admitted,
+            gave_up_on=on.gave_up,
+            retries_on=on.retries,
+            shed_on=on.shed_data + on.shed_parity,
+            shed_off=off.shed_data + off.shed_parity,
+            audit_on="pass" if on.audit_passed else "FAIL",
+            audit_off="pass" if off.audit_passed else "FAIL",
         )
     return series

@@ -17,6 +17,7 @@ from repro.experiments.ablations import (
     run_heterogeneous,
     run_loss_recovery,
     run_multi_leaf,
+    run_overload,
     run_parity_sweep,
     run_protocol_comparison,
     run_rate_adaptation,
@@ -117,12 +118,34 @@ def _parse_partition(text: str):
     return groups, at, heal_at
 
 
+def _jobs_arg(text: str):
+    """``--jobs`` value: a positive int, or ``auto`` for core probing."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {text!r} (expected a positive integer "
+            "or 'auto')"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("jobs must be >= 1 (or 'auto')")
+    return jobs
+
+
 def _make_executor(args):
-    """``--jobs N`` → a ParallelExecutor; default (or 1) stays serial."""
-    if getattr(args, "jobs", None) and args.jobs > 1:
+    """``--jobs N`` → a ParallelExecutor; ``--jobs auto`` probes the
+    available core count; default (or 1) stays serial."""
+    jobs = getattr(args, "jobs", None)
+    if jobs == "auto":
+        from repro.experiments.parallel import auto_executor
+
+        return auto_executor()
+    if jobs and jobs > 1:
         from repro.experiments.parallel import ParallelExecutor
 
-        return ParallelExecutor(jobs=args.jobs)
+        return ParallelExecutor(jobs=jobs)
     return None
 
 
@@ -155,6 +178,12 @@ def _figures(args) -> list[tuple[str, object]]:
         out.append(("EX-L", run_churn(seed=args.seed, **churn_kw, **ex)))
         gray_kw = {"content_packets": 100} if args.quick else {}
         out.append(("EX-N", run_gray(seed=args.seed, **gray_kw, **ex)))
+        overload_kw = (
+            {"content_packets": 40, "leaves": 6} if args.quick else {}
+        )
+        out.append(
+            ("EX-O", run_overload(seed=args.seed, **overload_kw, **ex))
+        )
     if executor is not None:
         executor.close()
     return out
@@ -223,6 +252,15 @@ def _build_session_spec(args, audit=None):
         except ValueError as exc:
             return _fail(str(exc))
 
+    upload_capacity = None
+    if getattr(args, "capacity", None) is not None:
+        from repro.net.capacity import CapacityPolicy
+
+        try:
+            upload_capacity = CapacityPolicy(**_parse_params(args.capacity))
+        except (TypeError, ValueError) as exc:
+            return _fail(f"bad --capacity {args.capacity!r}: {exc}")
+
     config = ProtocolConfig(
         n=args.n,
         H=args.H,
@@ -252,9 +290,48 @@ def _build_session_spec(args, audit=None):
         partition_plan=partition_plan,
         detector_policy=detector_spec,
         retransmit_policy=retransmit_policy,
+        upload_capacity=upload_capacity,
         trace=TraceConfig(),
         audit=audit,
     )
+
+
+def _build_swarm_spec(args, audit=True):
+    """``--join-storm`` → a :class:`SwarmSpec`; int exit status on error.
+
+    The swarm owns capacity, tracing, and auditing, so the session
+    template is built bare and those concerns move to the swarm level
+    (``--capacity`` becomes the shared per-peer budget).
+    """
+    import dataclasses
+
+    from repro.streaming.faults import JoinStormPlan
+    from repro.streaming.swarm import AdmissionPolicy, SwarmSpec
+
+    template = _build_session_spec(args)
+    if isinstance(template, int):
+        return template
+    capacity = template.upload_capacity
+    template = dataclasses.replace(
+        template, upload_capacity=None, trace=None, audit=None
+    )
+    try:
+        params = (
+            _parse_params(args.join_storm) if args.join_storm.strip() else {}
+        )
+        plan = JoinStormPlan(**params)
+    except (TypeError, ValueError) as exc:
+        return _fail(f"bad --join-storm {args.join_storm!r}: {exc}")
+    try:
+        return SwarmSpec(
+            session=template,
+            join_plan=plan,
+            capacity=capacity,
+            admission=AdmissionPolicy(),
+            audit=audit,
+        )
+    except (TypeError, ValueError) as exc:
+        return _fail(str(exc))
 
 
 def _run_trace(args) -> int:
@@ -265,6 +342,38 @@ def _run_trace(args) -> int:
         write_jsonl,
         write_run_summary,
     )
+
+    if args.join_storm is not None:
+        spec = _build_swarm_spec(args)
+        if isinstance(spec, int):
+            return spec
+        result = spec.run()
+        bus = result.trace
+        assert bus is not None
+        print(result.summary())
+        for outcome in result.outcomes:
+            print(
+                f"  {outcome.leaf_id}: "
+                f"{'admitted' if outcome.admitted else 'gave up'} "
+                f"after {outcome.attempts} attempt(s), "
+                f"receipt={outcome.receipt_rate:.3f}, "
+                f"delivery={outcome.delivery_ratio:.3f}"
+            )
+        print(
+            f"trace: {len(bus.events)} events "
+            f"({bus.dropped_events} dropped), retries={result.retries}, "
+            f"shed={result.shed_data}+{result.shed_parity}p"
+        )
+        protocol_name, _ = _parse_model_spec(args.protocol)
+        trace_out = _ensure_parent(
+            args.trace_out or f"trace_swarm_{protocol_name}.json"
+        )
+        write_chrome_trace(bus, trace_out)
+        print(f"wrote Chrome trace-event JSON to {trace_out}", file=sys.stderr)
+        if args.jsonl_out:
+            write_jsonl(bus, _ensure_parent(args.jsonl_out))
+            print(f"wrote JSONL trace to {args.jsonl_out}", file=sys.stderr)
+        return 0
 
     spec = _build_session_spec(args)
     if isinstance(spec, int):
@@ -326,6 +435,18 @@ def _run_audit(args) -> int:
         if not source.exists():
             return _fail(f"trace file not found: {source}")
         report = replay_jsonl(source, config=audit_config)
+    elif args.join_storm is not None:
+        # swarm runs default to the capacity auditor unless --auditors
+        # names an explicit set
+        spec = _build_swarm_spec(
+            args, audit=audit_config if args.auditors else True
+        )
+        if isinstance(spec, int):
+            return spec
+        result = spec.run()
+        report = result.audit
+        assert report is not None and not isinstance(report, dict)
+        print(result.summary())
     else:
         spec = _build_session_spec(args, audit=audit_config)
         if isinstance(spec, int):
@@ -353,6 +474,8 @@ def _run_perf(args) -> int:
     from repro.obs import write_chrome_trace, write_collapsed
     from repro.obs.prof import ProfileConfig
 
+    if args.join_storm is not None:
+        return _fail("--join-storm is only supported by 'trace' and 'audit'")
     spec = _build_session_spec(args)
     if isinstance(spec, int):
         return spec
@@ -404,6 +527,10 @@ def _run_spans(args) -> int:
         report = spans_from_jsonl(source, config=SpanConfig())
         bus = None
     else:
+        if args.join_storm is not None:
+            return _fail(
+                "--join-storm is only supported by 'trace' and 'audit'"
+            )
         spec = _build_session_spec(args)
         if isinstance(spec, int):
             return spec
@@ -492,11 +619,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
         metavar="N",
         help=(
-            "fan sweep runs out over N worker processes "
+            "fan sweep runs out over N worker processes, or 'auto' to "
+            "pick serial vs parallel from the measured core count "
             "(results are identical to serial; default 1)"
         ),
     )
@@ -561,6 +689,28 @@ def main(argv: list[str] | None = None) -> int:
             "partition the listed peers away from the leaf at time AT ms "
             "(+ joins peers of one component, / separates components, "
             ":HEAL heals), e.g. CP3+CP4@500:900"
+        ),
+    )
+    trace_group.add_argument(
+        "--capacity",
+        metavar="k=v,...",
+        help=(
+            "finite per-peer upload budget fields, e.g. "
+            "packets_per_delta=6,queue_limit=32 (alone: caps the single "
+            "session's uplinks; with --join-storm: the swarm's shared "
+            "pool)"
+        ),
+    )
+    trace_group.add_argument(
+        "--join-storm",
+        nargs="?",
+        const="",
+        metavar="k=v,...",
+        help=(
+            "run a multi-leaf swarm with admission control instead of a "
+            "single session ('trace'/'audit' only); fields of "
+            "JoinStormPlan, e.g. leaves=8,rate_per_delta=0.5,mode=flash "
+            "(bare flag: defaults)"
         ),
     )
     trace_group.add_argument("--n", type=int, default=24, help="contents peers")

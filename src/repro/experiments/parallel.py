@@ -45,8 +45,48 @@ __all__ = [
     "ProgressTick",
     "SerialExecutor",
     "SweepError",
+    "auto_executor",
+    "available_cores",
     "run_specs",
 ]
+
+
+def available_cores() -> int:
+    """CPU cores actually available to this process.
+
+    ``os.cpu_count()`` reports the machine; a container or CI runner may
+    pin the process to a subset.  Scheduler affinity is the honest
+    number where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def auto_executor(
+    n_specs: Optional[int] = None, jobs: Optional[int] = None
+) -> "SerialExecutor | ParallelExecutor":
+    """Pick serial vs parallel from the *measured* core count.
+
+    Fanning out on a single-core runner is a pure loss —
+    ``BENCH_parallel_sweep`` measured 0.63× there, all pool setup and
+    pickling with no parallelism to pay for it.  So: serial when fewer
+    than two cores are actually available (affinity-aware) or when the
+    sweep has fewer than two specs; otherwise a
+    :class:`ParallelExecutor` sized to ``min(cores, n_specs)``.  An
+    explicit ``jobs`` overrides the core probe but still degrades to
+    serial at 1.
+    """
+    cores = jobs if jobs is not None else available_cores()
+    if n_specs is not None:
+        cores = min(cores, n_specs)
+    if cores < 2:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=cores)
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ causal violation is ever exposed to the application.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.groupcomm.vector_clock import VectorClock
 
@@ -49,10 +49,14 @@ class CausalBroadcaster:
         deliver: Callable[[str, Any], None],
         kind: str = "cbcast",
         size_bytes: int = 64,
+        ctx: Optional[str] = None,
     ) -> None:
         if member_id not in group:
             raise ValueError(f"{member_id!r} not in its own group")
         self.overlay = overlay
+        #: coordination-context tag stamped on every wire send (swarm
+        #: runs share one physical node per member across leaf sessions)
+        self.ctx = ctx
         self.member_id = member_id
         self.group = list(group)
         self.deliver = deliver
@@ -81,6 +85,7 @@ class CausalBroadcaster:
                 self.kind,
                 body=CausalMessage(self.member_id, dict(counts), payload),
                 size_bytes=self.size_bytes,
+                ctx=self.ctx,
             )
             self.sent_count += 1
         # own broadcast is causally delivered immediately

@@ -27,12 +27,14 @@ from repro.net.linkfault import (
     SeverWindow,
 )
 from repro.net.dedup import DedupWindow
+from repro.net.capacity import CapacityPolicy, UploadBudget
 from repro.net.channel import Channel, ChannelStats
 from repro.net.node import Node
 from repro.net.overlay import Overlay, TrafficStats
 
 __all__ = [
     "BernoulliLoss",
+    "CapacityPolicy",
     "Channel",
     "ChannelStats",
     "CompositeFault",
@@ -53,4 +55,5 @@ __all__ = [
     "SeverWindow",
     "TrafficStats",
     "UniformLatency",
+    "UploadBudget",
 ]

@@ -31,6 +31,11 @@ class Message:
     #: stamped by the channel on send / delivery
     sent_at: float = field(default=-1.0, compare=False)
     delivered_at: float = field(default=-1.0, compare=False)
+    #: coordination context tag (the leaf id of the session this message
+    #: belongs to).  Swarm runs share one physical node per contents peer
+    #: across many leaf sessions; the hub routes deliveries to the right
+    #: per-leaf agent by this tag.  None outside swarm mode.
+    ctx: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

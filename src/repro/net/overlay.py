@@ -174,6 +174,10 @@ class ControlPlane:
         self._rng = overlay.streams.get("retx/jitter")
         #: callback(src, dst, kind, body) fired when a send is abandoned
         self.on_give_up: Optional[Callable[[str, str, str, object], None]] = None
+        #: coordination-context tag stamped on every send (and ack) this
+        #: plane issues; swarm sessions set it to their leaf id so the
+        #: shared contents-peer hubs can route replies (None otherwise)
+        self.ctx: Optional[str] = None
 
     # ------------------------------------------------------------------
     def send(
@@ -184,7 +188,10 @@ class ControlPlane:
         acked = self.env.event()
         self._pending[mid] = acked
         self._meta[mid] = [dst, self.env.now, False]
-        self.overlay.send(src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid)
+        self.overlay.send(
+            src, dst, kind, body=body, size_bytes=size_bytes,
+            msg_id=mid, ctx=self.ctx,
+        )
         self.env.process(self._retry_loop(mid, acked, src, dst, kind, body, size_bytes))
 
     def _timeout_for(self, dst: str) -> float:
@@ -238,7 +245,8 @@ class ControlPlane:
                     attempt=_attempt + 1, mid=mid,
                 )
             self.overlay.send(
-                src, dst, kind, body=body, size_bytes=size_bytes, msg_id=mid
+                src, dst, kind, body=body, size_bytes=size_bytes,
+                msg_id=mid, ctx=self.ctx,
             )
             wait *= pol.backoff
         self._pending.pop(mid, None)
@@ -282,9 +290,12 @@ class ControlPlane:
             return True
         if message.msg_id is None:
             return False
+        # the ack inherits the message's coordination context so a swarm
+        # hub can route it back to the originating leaf session's plane
         self.overlay.send(
             message.dst, message.src, "ack",
             body=message.msg_id, size_bytes=self.ACK_SIZE,
+            ctx=message.ctx if message.ctx is not None else self.ctx,
         )
         if message.msg_id in self._seen:
             self.overlay.traffic.duplicates_suppressed_by_kind[message.kind] += 1
@@ -451,6 +462,7 @@ class Overlay:
         body=None,
         size_bytes: int = 64,
         msg_id: Optional[int] = None,
+        ctx: Optional[str] = None,
     ) -> Message:
         """Send one message and account for it globally."""
         tracer = self.env.hooks.tracer
@@ -459,7 +471,7 @@ class Overlay:
             self.traffic.dropped_by_kind[kind] += 1
             msg = Message(
                 src=src, dst=dst, kind=kind, body=body,
-                size_bytes=size_bytes, msg_id=msg_id,
+                size_bytes=size_bytes, msg_id=msg_id, ctx=ctx,
             )
             if tracer is not None:
                 tracer.emit(
@@ -469,6 +481,7 @@ class Overlay:
         msg = Message(
             src=src, dst=dst, kind=kind, body=body,
             size_bytes=size_bytes, msg_id=msg_id, uid=next(self._uids),
+            ctx=ctx,
         )
         self.traffic.sent_by_kind[kind] += 1
         self.traffic.send_log.append((kind, self.env.now, src, dst))

@@ -84,6 +84,7 @@ __all__ = [
     "AuditConfig",
     "AuditReport",
     "Auditor",
+    "CapacityAuditor",
     "CausalAuditor",
     "DetectorAuditor",
     "DuplicateEffectAuditor",
@@ -1049,6 +1050,178 @@ class DuplicateEffectAuditor(Auditor):
         return {
             "applies_checked": self._applied,
             "duplicates_suppressed": self._suppressed,
+        }
+
+
+@register_auditor("capacity")
+class CapacityAuditor(Auditor):
+    """Upload budgets are honored and admission reservations conserved.
+
+    Three invariants of the swarm overload layer (PR: overload-robust
+    swarm streaming), all checked purely from trace evidence — so the
+    auditor behaves identically online and in offline JSONL replay:
+
+    * **budget** — a peer that announced a finite budget
+      (``capacity.budget``) never has more ``media.tx`` events in one
+      aligned δ-window than ``per_window`` (timestamps re-bucketed with
+      the same boundary epsilon the ledger uses);
+    * **conservation** — ``admit.grant`` − ``admit.release`` always
+      equals the controller's claimed ``active`` count, with at most one
+      outstanding grant per leaf and no release without a grant;
+    * **no inverted starvation** — a leaf whose admission gave up
+      (``admit.give_up``) is never served media, and no admitted leaf
+      ends with zero received packets while others were served.
+
+    Inert (vacuously passing) in runs without capacity announcements or
+    admission events.
+    """
+
+    name = "capacity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        from repro.net.capacity import WINDOW_EPS
+
+        self._eps = WINDOW_EPS
+        #: peer -> (per_window, window_ms) from capacity.budget
+        self._budgets: Dict[str, tuple] = {}
+        #: peer -> [window index, tx count, flagged?] for the running
+        #: window (events arrive in time order, so one bucket suffices)
+        self._tx: Dict[str, list] = {}
+        self._tx_total = 0
+        self._windows_checked = 0
+        #: leaf -> grant / release counts
+        self._granted: Dict[str, int] = {}
+        self._released: Dict[str, int] = {}
+        self._active = 0
+        self._gave_up: List[str] = []
+        #: leaf -> media.rx count (only leaves seen in admit.* events
+        #: matter, but counting every subject is simpler and cheap)
+        self._served: Dict[str, int] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == "media.tx":
+            budget = self._budgets.get(event.subject)
+            if budget is None:
+                return
+            per_window, window_ms = budget
+            win = int(event.ts / window_ms + self._eps)
+            self._tx_total += 1
+            slot = self._tx.get(event.subject)
+            if slot is None or win > slot[0]:
+                self._tx[event.subject] = [win, 1, False]
+                self._windows_checked += 1
+                return
+            slot[1] += 1
+            if slot[1] > per_window and not slot[2]:
+                slot[2] = True
+                self.violation(
+                    "capacity.over_budget",
+                    event.subject,
+                    f"{event.subject} sent {slot[1]} media packets in "
+                    f"δ-window {win} but its announced budget is "
+                    f"{per_window}/window — the upload ledger was "
+                    "bypassed",
+                    evidence=[event],
+                )
+            return
+        if kind == "media.rx":
+            count = event.payload().get("count", 1)
+            self._served[event.subject] = (
+                self._served.get(event.subject, 0) + count
+            )
+            return
+        if kind == "capacity.budget":
+            payload = event.payload()
+            self._budgets[event.subject] = (
+                int(payload["per_window"]),
+                float(payload["window_ms"]),
+            )
+            return
+        if kind == "admit.grant":
+            leaf = event.subject
+            self._granted[leaf] = self._granted.get(leaf, 0) + 1
+            if self._granted[leaf] - self._released.get(leaf, 0) > 1:
+                self.violation(
+                    "capacity.double_grant",
+                    leaf,
+                    f"{leaf} was granted admission twice with no release "
+                    "in between — reservations would leak",
+                    evidence=[event],
+                )
+            self._active += 1
+            claimed = event.payload().get("active")
+            if claimed is not None and claimed != self._active:
+                self.violation(
+                    "capacity.reservation_leak",
+                    leaf,
+                    f"admission controller claims {claimed} active "
+                    f"reservations after granting {leaf} but the event "
+                    f"ledger says {self._active} (admit − release must "
+                    "equal active)",
+                    evidence=[event],
+                )
+            return
+        if kind == "admit.release":
+            leaf = event.subject
+            self._released[leaf] = self._released.get(leaf, 0) + 1
+            if self._released[leaf] > self._granted.get(leaf, 0):
+                self.violation(
+                    "capacity.release_unmatched",
+                    leaf,
+                    f"{leaf} released a reservation it never held",
+                    evidence=[event],
+                )
+            self._active -= 1
+            claimed = event.payload().get("active")
+            if claimed is not None and claimed != self._active:
+                self.violation(
+                    "capacity.reservation_leak",
+                    leaf,
+                    f"admission controller claims {claimed} active "
+                    f"reservations after releasing {leaf} but the event "
+                    f"ledger says {self._active}",
+                    evidence=[event],
+                )
+            return
+        if kind == "admit.give_up":
+            self._gave_up.append(event.subject)
+
+    def finish(self, session: Optional["StreamingSession"] = None) -> None:
+        for leaf in self._gave_up:
+            served = self._served.get(leaf, 0)
+            if served:
+                self.violation(
+                    "capacity.serve_rejected",
+                    leaf,
+                    f"{leaf} was refused admission yet received {served} "
+                    "media packets — rejected leaves must not consume "
+                    "pool capacity",
+                )
+        admitted = [
+            leaf for leaf, g in self._granted.items()
+            if g > 0
+        ]
+        if admitted and any(self._served.get(l, 0) for l in admitted):
+            for leaf in admitted:
+                if not self._served.get(leaf, 0):
+                    self.violation(
+                        "capacity.starved_admitted",
+                        leaf,
+                        f"{leaf} was admitted (and holds a reservation) "
+                        "but never received a single media packet while "
+                        "other leaves streamed",
+                    )
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "budgeted_peers": len(self._budgets),
+            "tx_checked": self._tx_total,
+            "windows_checked": self._windows_checked,
+            "grants": sum(self._granted.values()),
+            "releases": sum(self._released.values()),
+            "active_at_end": self._active,
         }
 
 

@@ -75,6 +75,11 @@ _MILESTONE_SEGMENTS = {
     "detector.confirm": "failure_detect",
     "health.quarantine": "quarantine",
     "recoord.reissue": "reissue",
+    # swarm admission-control decisions: a leaf stuck in the admission
+    # queue shows up as named segments on its first packet's gap
+    "admit.grant": "admit",
+    "admit.reject": "admit_reject",
+    "admit.retry": "admit_retry",
 }
 
 

@@ -38,6 +38,13 @@ category   kinds
 ``partition`` ``partition.split`` ``partition.heal``
 ``ctrl``   ``ctrl.apply`` (a control message actually changed state —
            the duplicate-effect audit's evidence stream)
+``capacity`` ``capacity.budget`` (a finite upload budget came online)
+           ``capacity.queue`` (backpressure: a send waited for a window)
+           ``capacity.shed`` (the uplink queue overflowed and dropped)
+``admit``  ``admit.request`` ``admit.grant`` ``admit.reject``
+           ``admit.retry`` ``admit.give_up`` ``admit.release``
+           (swarm admission-control decisions; see
+           :mod:`repro.streaming.swarm`)
 ``audit``  ``audit.violation`` ``audit.warning`` (auditor verdicts)
 ========== =====================================================
 

@@ -20,6 +20,10 @@
   (:class:`PartitionPlan`, :class:`LinkCut`).
 * :mod:`repro.streaming.detector` — leaf-side heartbeat failure detector.
 * :mod:`repro.streaming.recoordination` — mid-stream residual re-flooding.
+* :mod:`repro.streaming.swarm` — multi-leaf flash-crowd runs over one
+  shared overlay: :class:`SwarmSpec` + :class:`JoinStormPlan` drive many
+  leaf sessions against finite per-peer upload budgets with admission
+  control and retry/backoff (:class:`AdmissionPolicy`).
 """
 
 from repro.streaming.stream import Phase, Stream, HandoffPlan
@@ -48,9 +52,19 @@ from repro.streaming.faults import (
     DegradeFault,
     FaultPlan,
     FlapFault,
+    JoinStormPlan,
     LinkCut,
     PartitionEvent,
     PartitionPlan,
+)
+from repro.streaming.swarm import (
+    AdmissionController,
+    AdmissionPolicy,
+    LeafOutcome,
+    PeerHub,
+    SwarmResult,
+    SwarmSession,
+    SwarmSpec,
 )
 from repro.streaming.detector import DetectorPolicy, FailureDetector, Heartbeat
 from repro.streaming.health import HealthMonitor, HealthPolicy, QuarantineRecord
@@ -64,6 +78,8 @@ from repro.streaming.adaptive import (
 
 __all__ = [
     "AdaptRequest",
+    "AdmissionController",
+    "AdmissionPolicy",
     "BufferEvent",
     "RateAdaptationMonitor",
     "RateAdaptationPolicy",
@@ -82,13 +98,16 @@ __all__ = [
     "HealthMonitor",
     "HealthPolicy",
     "Heartbeat",
+    "JoinStormPlan",
     "LatencySpec",
+    "LeafOutcome",
     "LeafPeerAgent",
     "LinkCut",
     "LinkFaultSpec",
     "LossSpec",
     "PartitionEvent",
     "PartitionPlan",
+    "PeerHub",
     "Phase",
     "PlaybackBuffer",
     "ProtocolSpec",
@@ -101,6 +120,9 @@ __all__ = [
     "SessionSpec",
     "Stream",
     "StreamingSession",
+    "SwarmResult",
+    "SwarmSession",
+    "SwarmSpec",
     "available_factories",
     "register_detector",
     "register_latency",

@@ -122,6 +122,7 @@ class RateAdaptationMonitor:
                 plan=plans[0], rate=shortfall, on_behalf_of=agent.peer_id
             ),
             size_bytes=cfg.control_size,
+            ctx=session.ctx,
         )
 
 

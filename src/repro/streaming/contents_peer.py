@@ -29,11 +29,18 @@ class ContentsPeerAgent:
     * random child selection from ``CP − VW_i − {self}``.
     """
 
-    def __init__(self, session: "StreamingSession", peer_id: str) -> None:
+    def __init__(
+        self, session: "StreamingSession", peer_id: str, node=None
+    ) -> None:
         self.session = session
         self.peer_id = peer_id
-        self.node = session.overlay.add_node(peer_id)
-        self.node.on_deliver = self._on_deliver
+        if node is None:
+            self.node = session.overlay.add_node(peer_id)
+            self.node.on_deliver = self._on_deliver
+        else:
+            # swarm mode: the physical node belongs to a shared PeerHub,
+            # which owns on_deliver and dispatches by coordination ctx
+            self.node = node
         self.view: set[str] = {peer_id}
         self.streams: list[Stream] = []
         self.activated_at: Optional[float] = None
@@ -47,6 +54,9 @@ class ContentsPeerAgent:
         self._phase_rng = session.streams.get(f"phase/{peer_id}")
         #: uplink capacity in packets/ms; None = unlimited (§5 hetero env)
         self.capacity = session.peer_capacities.get(peer_id)
+        #: finite upload budget (backpressure + shedding); None = the
+        #: seed's infinite uplink.  Shared across leaf sessions in swarms.
+        self.upload_budget = session.upload_budget_for(peer_id)
         #: duplicate-suppression for control traffic keyed on the wire
         #: uid (link duplicates share it; retransmissions do not — those
         #: are deduplicated by ``msg_id`` in the control plane), so a
@@ -207,6 +217,20 @@ class ContentsPeerAgent:
             pkt = stream.pop_next()
             if pkt is None:
                 return
+            budget = self.upload_budget
+            if budget is not None:
+                # finite uplink: book a send slot in the peer's shared
+                # windowed budget.  Shed = the packet dies at the uplink
+                # (parity sheds earlier than data — graceful degradation
+                # sacrifices the fault margin before the content);
+                # a positive wait is backpressure into a later window.
+                wait = budget.reserve(self.env.now, parity=pkt.is_parity)
+                if wait is None:
+                    continue
+                if wait > 0.0:
+                    yield self.env.timeout(wait)
+                    if self.node.down or epoch != self._epoch:
+                        return
             if self.env.hooks.tracer is not None:
                 self.env.hooks.tracer.emit(
                     "media.tx", self.peer_id, label=pkt.label, stream=stream_id
@@ -225,13 +249,18 @@ class ContentsPeerAgent:
         """Pace whole per-slot subsequences as single batched sends.
 
         Every iteration pops up to ``window × rate`` packets from the
-        current phase and ships them as one
+        current phase (at least two — a stream at rate ≪ 1 packet/window
+        accumulates across windows rather than degenerating to
+        per-packet sends) and ships them as one
         :class:`~repro.media.batch.PacketBatch` delivery event with
         per-packet send offsets ``0, period, 2·period, …``; the loop then
         sleeps out the remainder of the slot, so the average rate matches
         the unbatched loop exactly.  Rate changes (handoffs, capacity
         throttling) take effect at batch boundaries — the batch window is
         the granularity knob (``SessionSpec.media_batch`` in δ units).
+        Under a finite upload budget the batch additionally shrinks to
+        the window's remaining slots and stalls (never sheds) when the
+        window is spent.
         """
         cfg = self.session.config
         leaf_id = self.session.leaf.peer_id
@@ -248,7 +277,27 @@ class ContentsPeerAgent:
             yield self.env.timeout(delay)
             if self.node.down or epoch != self._epoch:
                 return
-            count = max(1, int(window * rate))
+            count = int(window * rate)
+            if count < 2:
+                # low-rate subsequence (rate ≪ 1 packet/window, e.g. a
+                # deeply divided DCoP stream): accumulate across windows
+                # instead of degenerating to per-packet sends — the loop
+                # sleeps out (len−1)·period after the send, so a batch
+                # spanning several windows keeps the same average rate
+                count = 2
+            budget = self.upload_budget
+            if budget is not None:
+                # finite uplink: shrink the batch to the current window's
+                # remaining budget (pure backpressure — the batched plane
+                # never queues into future windows, so it never sheds)
+                allowed = budget.take(self.env.now, count)
+                while allowed == 0:
+                    wait = budget.next_window_wait(self.env.now)
+                    yield self.env.timeout(wait)
+                    if self.node.down or epoch != self._epoch:
+                        return
+                    allowed = budget.take(self.env.now, count)
+                count = allowed
             pkts = stream.pop_batch(count)
             if not pkts:
                 return

@@ -546,3 +546,81 @@ class PartitionPlan:
             return
         yield session.env.timeout(cut.until - cut.at)
         session.overlay.heal_link(cut.src, cut.dst)
+
+
+# ----------------------------------------------------------------------
+# join storms (swarm workload, not a fault injector)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinStormPlan:
+    """Leaf arrival schedule for a swarm run.
+
+    Where :class:`ChurnPlan` drives *departures* of contents peers, a
+    join storm drives *arrivals* of leaf peers against the shared pool —
+    the overload workload.  Two modes:
+
+    * ``"poisson"`` — ``leaves`` arrivals whose inter-arrival gaps are
+      Exp(``rate_per_delta``) in δ units, drawn from the swarm's
+      dedicated ``swarm/joins`` random stream (equal seeds ⇒ byte-equal
+      storms);
+    * ``"flash"`` — all ``leaves`` arrive at the same instant
+      (``start_deltas``), the step-function flash crowd.
+
+    Either mode may add a late *spike*: ``spike_leaves`` extra arrivals
+    at ``spike_at_deltas`` — a second crowd hitting a pool that is
+    already committed to the first.
+    """
+
+    #: number of leaf arrivals in the base wave
+    leaves: int = 8
+    #: Poisson arrival rate (leaves per δ); ignored in flash mode
+    rate_per_delta: float = 0.25
+    #: first arrival is offset this many δ after t=0
+    start_deltas: float = 0.0
+    #: "poisson" or "flash"
+    mode: str = "poisson"
+    #: instant (δ after t=0) of an extra step of arrivals; None = none
+    spike_at_deltas: Optional[float] = None
+    #: size of the extra step (in addition to ``leaves``)
+    spike_leaves: int = 0
+
+    def __post_init__(self) -> None:
+        if self.leaves < 1:
+            raise ValueError("leaves must be >= 1")
+        if self.rate_per_delta <= 0:
+            raise ValueError("rate_per_delta must be positive")
+        if self.start_deltas < 0:
+            raise ValueError("start_deltas must be >= 0")
+        if self.mode not in ("poisson", "flash"):
+            raise ValueError('mode must be "poisson" or "flash"')
+        if self.spike_leaves < 0:
+            raise ValueError("spike_leaves must be >= 0")
+        if self.spike_leaves and self.spike_at_deltas is None:
+            raise ValueError("spike_leaves requires spike_at_deltas")
+        if self.spike_at_deltas is not None and self.spike_at_deltas < 0:
+            raise ValueError("spike_at_deltas must be >= 0")
+
+    @property
+    def total_leaves(self) -> int:
+        return self.leaves + self.spike_leaves
+
+    def arrival_offsets(self, delta: float, rng) -> List[float]:
+        """Sorted arrival instants (ms) for every leaf of the storm.
+
+        ``rng`` is the swarm's ``swarm/joins`` stream; flash mode draws
+        nothing from it, so switching modes never perturbs other streams.
+        """
+        base = self.start_deltas * delta
+        times: List[float] = []
+        if self.mode == "flash":
+            times.extend(base for _ in range(self.leaves))
+        else:
+            t = base
+            for _ in range(self.leaves):
+                t += float(rng.exponential(1.0 / self.rate_per_delta)) * delta
+                times.append(t)
+        if self.spike_leaves:
+            at = self.spike_at_deltas * delta
+            times.extend(at for _ in range(self.spike_leaves))
+        times.sort()
+        return times

@@ -209,7 +209,12 @@ class HealthMonitor:
         if promised > 0 and detector.residual_of(pid):
             delivered = (arrivals - prev) / period
             if delivered < pol.throughput_floor * promised:
-                reasons.append("throughput")
+                budget = session.upload_budget_for(pid)
+                if budget is None or budget.backlog(session.env.now) == 0:
+                    # a peer starving the leaf because its finite uplink
+                    # queue is backlogged is backpressured, not gray —
+                    # quarantining it would punish the overload victim
+                    reasons.append("throughput")
         if not reasons:
             self._strikes[pid] = 0
             return

@@ -298,7 +298,29 @@ class StreamingSession:
         session._setup(spec)
         return session
 
-    def _setup(self, spec: "SessionSpec") -> None:
+    @classmethod
+    def for_swarm(
+        cls, spec: "SessionSpec", swarm, leaf_id: str
+    ) -> "StreamingSession":
+        """Attach one leaf session to a shared swarm substrate.
+
+        The session reuses the swarm's environment, overlay, RNG streams,
+        content, and contents-peer hubs instead of creating its own; its
+        control traffic is tagged with ``leaf_id`` as the coordination
+        context so the hubs can route replies to this leaf's agents.
+        Per-session observability (auditors, spans, profiler, metrics) is
+        owned by the swarm, not the leaf.
+        """
+        session = object.__new__(cls)
+        session._setup(spec, swarm=swarm, leaf_id=leaf_id)
+        return session
+
+    def _setup(
+        self,
+        spec: "SessionSpec",
+        swarm=None,
+        leaf_id: Optional[str] = None,
+    ) -> None:
         """The one true constructor: materialize ``spec`` into a session."""
         from repro.streaming.spec import (
             resolve_detector_policy,
@@ -337,38 +359,51 @@ class StreamingSession:
         self.spec = spec
         self.config = config
         self.protocol = protocol
-        # scheduler choice is a pure speed knob (identical trajectories);
-        # a calendar queue defaults its bucket width to this session's δ
-        self.env = Environment(
-            scheduler=resolve_scheduler(spec.scheduler, config.delta)
-        )
+        #: owning swarm (None outside swarm mode)
+        self.swarm = swarm
+        #: coordination-context tag stamped on this session's control
+        #: traffic: the leaf id in swarm mode, None otherwise
+        self.ctx: Optional[str] = leaf_id
         if spec.media_batch < 0:
             raise ValueError("media_batch must be >= 0 (δ units)")
         #: batched media plane: per-slot window in ms (0 = per-packet)
         self.media_batch_window_ms = (
             spec.media_batch * config.delta if spec.media_batch > 0 else 0.0
         )
-        self.streams = RandomStreams(config.seed)
-        # --- observability (opt-in; every hook no-ops when tracer=None) ---
-        self.trace_bus: Optional[TraceBus] = None
-        self.metrics_registry: Optional[MetricsRegistry] = None
-        if trace is not None:
-            self.trace_bus = TraceBus(trace, self.env)
-            self.env.hooks.tracer = self.trace_bus
-        # --- performance profiler (opt-in; passive — trajectories are
-        # byte-identical with it on or off) ---------------------------------
         self.profiler: Optional["SimProfiler"] = None
-        profile = spec.profile
-        if profile is not None and profile is not False:
-            from repro.obs.prof import ProfileConfig, SimProfiler
+        self.metrics_registry: Optional[MetricsRegistry] = None
+        if swarm is not None:
+            # shared substrate: the swarm owns env, streams, overlay,
+            # content, tracing, and all per-run observability
+            self.env = swarm.env
+            self.streams = swarm.streams
+            self.trace_bus = swarm.trace_bus
+        else:
+            # scheduler choice is a pure speed knob (identical
+            # trajectories); a calendar queue defaults its bucket width
+            # to this session's δ
+            self.env = Environment(
+                scheduler=resolve_scheduler(spec.scheduler, config.delta)
+            )
+            self.streams = RandomStreams(config.seed)
+            # --- observability (opt-in; hooks no-op when tracer=None) ---
+            self.trace_bus: Optional[TraceBus] = None
+            if trace is not None:
+                self.trace_bus = TraceBus(trace, self.env)
+                self.env.hooks.tracer = self.trace_bus
+            # --- performance profiler (opt-in; passive — trajectories
+            # are byte-identical with it on or off) ----------------------
+            profile = spec.profile
+            if profile is not None and profile is not False:
+                from repro.obs.prof import ProfileConfig, SimProfiler
 
-            if profile is True:
-                profile = ProfileConfig()
-            self.profiler = SimProfiler(profile)
-            self.env.hooks.profiler = self.profiler
-            if self.trace_bus is not None:
-                # meter trace recording as its own subsystem ("tracing")
-                self.profiler.instrument_trace_bus(self.trace_bus)
+                if profile is True:
+                    profile = ProfileConfig()
+                self.profiler = SimProfiler(profile)
+                self.env.hooks.profiler = self.profiler
+                if self.trace_bus is not None:
+                    # meter trace recording as its own subsystem
+                    self.profiler.instrument_trace_bus(self.trace_bus)
         latency_factory = None
         if latency is None:
             # Default: each directed pair gets a constant latency drawn once
@@ -385,39 +420,67 @@ class StreamingSession:
                 factor = 1.0 + spread * (2.0 * pair_rng.random() - 1.0)
                 return ConstantLatency(config.delta * factor)
 
-        self.overlay = Overlay(
-            self.env,
-            streams=self.streams,
-            default_latency=latency,
-            default_loss_factory=loss_factory,
-            latency_factory=latency_factory,
-            control_loss_factory=control_loss_factory,
-            link_fault_factory=link_fault_factory,
-        )
-        self.content = MediaContent(
-            "content",
-            n_packets=config.content_packets,
-            packet_size=config.packet_size,
-            rate=config.tau,
-            seed=config.seed,
-            with_payload=config.with_payload,
-        )
+        if swarm is not None:
+            self.overlay = swarm.overlay
+            self.content = swarm.content
+        else:
+            self.overlay = Overlay(
+                self.env,
+                streams=self.streams,
+                default_latency=latency,
+                default_loss_factory=loss_factory,
+                latency_factory=latency_factory,
+                control_loss_factory=control_loss_factory,
+                link_fault_factory=link_fault_factory,
+            )
+            self.content = MediaContent(
+                "content",
+                n_packets=config.content_packets,
+                packet_size=config.packet_size,
+                rate=config.tau,
+                seed=config.seed,
+                with_payload=config.with_payload,
+            )
         self.leaf = LeafPeerAgent(
             self,
+            peer_id=leaf_id if leaf_id is not None else "leaf",
             buffer_capacity=buffer_capacity,
             playback=playback,
             max_receipt_rate=leaf_receipt_rate,
             receive_buffer_packets=leaf_receive_buffer,
             skip_after_misses=spec.playback_skip_misses,
         )
-        self.peer_ids: List[str] = [f"CP{i}" for i in range(1, config.n + 1)]
+        if swarm is not None:
+            self.peer_ids: List[str] = list(swarm.peer_ids)
+        else:
+            self.peer_ids = [f"CP{i}" for i in range(1, config.n + 1)]
         #: per-peer uplink capacity in packets/ms (absent = unlimited);
         #: §5's heterogeneous environment — a peer cannot exceed this no
         #: matter what rate its assignments ask for
         self.peer_capacities: Dict[str, float] = dict(peer_capacities or {})
-        self.peers: Dict[str, ContentsPeerAgent] = {
-            pid: ContentsPeerAgent(self, pid) for pid in self.peer_ids
-        }
+        #: per-peer finite upload budgets (absent = the seed's infinite
+        #: uplink); in swarm mode the dict is *shared* across every leaf
+        #: session so one physical peer's budget covers all its sessions
+        if swarm is not None:
+            self.upload_budgets = swarm.upload_budgets
+            self.peers: Dict[str, ContentsPeerAgent] = {}
+            for pid in self.peer_ids:
+                hub = swarm.hubs[pid]
+                agent = ContentsPeerAgent(self, pid, node=hub.node)
+                hub.attach(self.leaf.peer_id, agent)
+                self.peers[pid] = agent
+        else:
+            from repro.net.capacity import UploadBudget
+
+            self.upload_budgets = {}
+            if spec.upload_capacity is not None:
+                for pid in self.peer_ids:
+                    self.upload_budgets[pid] = UploadBudget(
+                        pid, spec.upload_capacity, config.delta, self.env
+                    )
+            self.peers = {
+                pid: ContentsPeerAgent(self, pid) for pid in self.peer_ids
+            }
         self.activation_log: List[tuple[str, float]] = []
         self.faults_fired: list = []
         #: protocol-private per-session state (TCoP pending offers, …)
@@ -432,6 +495,7 @@ class StreamingSession:
             self.control_plane = ControlPlane(
                 self.overlay, retransmit_policy, config.delta
             )
+            self.control_plane.ctx = self.ctx
             self.control_plane.on_give_up = self._on_control_give_up
         self.detector: Optional[FailureDetector] = None
         self.recoordinator: Optional[ReCoordinator] = None
@@ -467,13 +531,20 @@ class StreamingSession:
             # raises when no detector is configured: quarantine judges
             # peers by the detector's evidence (φ, residuals, last_heard)
             self.health = HealthMonitor(self, spec.health_policy)
+        self.auditors: List["Auditor"] = []
+        self._audit_report: Optional["AuditReport"] = None
+        self.span_builder: Optional["SpanBuilder"] = None
+        if swarm is not None:
+            # the swarm owns observability; just announce this leaf as a
+            # trace participant alongside the shared contents peers
+            if self.trace_bus is not None:
+                self.trace_bus.participants.append(self.leaf.peer_id)
+            return
         if self.trace_bus is not None:
             self.trace_bus.participants = [self.leaf.peer_id, *self.peer_ids]
             if trace.metrics:
                 self._wire_metrics(trace)
         # --- online auditors (read-only subscribers; opt-in) -----------
-        self.auditors: List["Auditor"] = []
-        self._audit_report: Optional["AuditReport"] = None
         if audit is not None:
             from repro.obs.audit import build_auditors
 
@@ -482,7 +553,6 @@ class StreamingSession:
                 auditor.bind(self.trace_bus, self)
                 self.trace_bus.subscribe(auditor.on_event)
         # --- causal span builder (read-only subscriber; opt-in) --------
-        self.span_builder: Optional["SpanBuilder"] = None
         if spans is not None:
             from repro.obs.spans import SpanBuilder, SpanConfig
 
@@ -584,7 +654,13 @@ class StreamingSession:
         if reliable and self.control_plane is not None:
             self.control_plane.send(src, dst, kind, body, size)
         else:
-            self.overlay.send(src, dst, kind, body=body, size_bytes=size)
+            self.overlay.send(
+                src, dst, kind, body=body, size_bytes=size, ctx=self.ctx
+            )
+
+    def upload_budget_for(self, peer_id: str):
+        """The peer's finite upload budget, or None (infinite uplink)."""
+        return self.upload_budgets.get(peer_id)
 
     def intercept_control(self, message: Message) -> bool:
         """Ack/dedup bookkeeping for an inbound message.
@@ -677,6 +753,13 @@ class StreamingSession:
         return [self.peer_ids[i] for i in sorted(picked)]
 
     # ------------------------------------------------------------------
+    def initiate(self) -> None:
+        """Kick off coordination (idempotent); swarm joins call this
+        directly since the shared environment is run by the swarm."""
+        if not self._initiated:
+            self.protocol.initiate(self)
+            self._initiated = True
+
     def run(self, until: Optional[float] = None) -> SessionResult:
         """Initiate the protocol, run the simulation, collect metrics."""
         if not self._initiated:

@@ -77,6 +77,7 @@ from repro.net.linkfault import (
     SeverWindow,
     StutterFault,
 )
+from repro.net.capacity import CapacityPolicy
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.overlay import RetransmitPolicy
 from repro.obs.audit import AuditConfig
@@ -597,6 +598,10 @@ class SessionSpec:
     leaf_receipt_rate: Optional[float] = None
     leaf_receive_buffer: float = 64.0
     peer_capacities: Optional[Dict[str, float]] = None
+    #: finite per-peer upload budget (packets/δ with backpressure queue
+    #: and priority shedding); None keeps the seed's infinite uplink.
+    #: Applied uniformly to every contents peer of the session.
+    upload_capacity: Optional[CapacityPolicy] = None
     retransmit_policy: Optional[RetransmitPolicy] = None
     #: failure detection; a policy instance or a declarative DetectorSpec
     detector_policy: Optional[DetectorLike] = None

@@ -1,0 +1,691 @@
+"""Swarm streaming: many leaf joins against one shared contents-peer pool.
+
+The paper evaluates one leaf at a time; the ROADMAP's [scale] item asks
+what happens when a *crowd* of leaves arrives faster than the pool's
+aggregate upload capacity absorbs.  This module runs that workload:
+
+* a :class:`SwarmSpec` holds a ``SessionSpec``-shaped template, a
+  :class:`~repro.streaming.faults.JoinStormPlan` (Poisson or flash-crowd
+  leaf arrivals), an optional per-peer
+  :class:`~repro.net.capacity.CapacityPolicy`, and an optional
+  :class:`AdmissionPolicy`;
+* a :class:`SwarmSession` materializes ONE environment / overlay / RNG
+  family / content shared by every leaf.  Each physical contents peer is
+  a :class:`PeerHub`: a single overlay node plus a shared
+  :class:`~repro.net.capacity.UploadBudget`, hosting one per-leaf
+  :class:`~repro.streaming.contents_peer.ContentsPeerAgent` per served
+  session and routing deliveries by the message's coordination context;
+* the :class:`AdmissionController` grants a join only while the
+  reachable pool has spare budget for another τ-rate stream; rejected
+  leaves back off with full jitter and exponential backoff (the PR 6
+  :class:`~repro.net.overlay.RetransmitPolicy` shape) and retry;
+  admitted leaves hold a reservation until they finish (or their watch
+  deadline passes), published as ``admit.*`` trace events the
+  ``capacity`` auditor reconciles.
+
+Under overload without admission, contents peers shed load by priority
+(parity before data) and backpressure the rest — delivery degrades but
+never collapses to zero; with admission, the pool serves fewer leaves at
+full quality while the rest retry or give up.  The EX-O ablation sweeps
+exactly this trade-off.
+
+Determinism: arrivals draw from the dedicated ``swarm/joins`` stream and
+retry jitter from ``swarm/backoff``; every other draw goes through the
+session machinery's existing named streams, so equal seeds give
+byte-identical trajectories under either scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.core.base import CoordinationProtocol
+from repro.net.capacity import CapacityPolicy, UploadBudget
+from repro.net.message import Message
+from repro.net.overlay import Overlay, RetransmitPolicy
+from repro.obs.audit import AuditConfig
+from repro.obs.trace import TraceBus, TraceConfig
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.media.content import MediaContent
+from repro.net.latency import ConstantLatency
+from repro.streaming.faults import JoinStormPlan
+from repro.streaming.session import StreamingSession
+from repro.streaming.spec import (
+    SessionSpec,
+    resolve_latency,
+    resolve_link_fault_factory,
+    resolve_loss_factory,
+    resolve_scheduler,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.audit import AuditReport, Auditor
+    from repro.streaming.contents_peer import ContentsPeerAgent
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "LeafOutcome",
+    "PeerHub",
+    "SwarmResult",
+    "SwarmSession",
+    "SwarmSpec",
+]
+
+
+# ----------------------------------------------------------------------
+# policies and spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission control for leaf joins against the shared pool.
+
+    A join is admitted while
+    ``reserved + τ·demand_margin ≤ pool_rate·utilization_cap``, where
+    ``pool_rate`` sums the upload budgets of *reachable* (non-crashed)
+    contents peers.  ``demand_margin`` > 1 reserves headroom for parity
+    overhead and repair traffic; ``utilization_cap`` < 1 keeps slack for
+    control traffic and renegotiation.
+
+    Rejected joins retry with the PR 6 retransmit machinery's shape:
+    ``retry.max_retries`` attempts, base wait ``retry.ack_timeout_deltas``
+    δ, exponential ``retry.backoff``, and full uniform jitter over
+    ``[1 − j/2, 1 + j/2]`` so simultaneous flash-crowd rejects de-align
+    instead of re-colliding.
+    """
+
+    demand_margin: float = 1.0
+    utilization_cap: float = 1.0
+    retry: RetransmitPolicy = field(
+        default_factory=lambda: RetransmitPolicy(
+            max_retries=4, ack_timeout_deltas=8.0, backoff=2.0, jitter=0.5
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.demand_margin <= 0:
+            raise ValueError("demand_margin must be positive")
+        if self.utilization_cap <= 0:
+            raise ValueError("utilization_cap must be positive")
+
+
+@dataclass(frozen=True)
+class SwarmSpec:
+    """Declarative description of one swarm run (picklable).
+
+    ``session`` is the per-leaf template: every admitted leaf builds a
+    :class:`~repro.streaming.session.StreamingSession` from it against
+    the *shared* substrate.  The template must therefore leave
+    swarm-owned concerns unset: fault/churn/partition plans, tracing,
+    auditing, profiling, spans, and per-session upload capacity all
+    belong to the swarm, and the protocol must be declarative (a
+    :class:`~repro.streaming.spec.ProtocolSpec` or registry name) so
+    each leaf gets a fresh instance.
+    """
+
+    session: SessionSpec
+    join_plan: JoinStormPlan = field(default_factory=JoinStormPlan)
+    #: finite upload budget applied to every contents peer; None keeps
+    #: the seed's infinite uplink (admission then admits everyone)
+    capacity: Optional[CapacityPolicy] = None
+    #: admission control; None admits every join unconditionally
+    admission: Optional[AdmissionPolicy] = None
+    trace: Optional[TraceConfig] = None
+    #: ``True`` (default) runs the ``capacity`` auditor; a full
+    #: :class:`~repro.obs.audit.AuditConfig` picks any suite; None/False
+    #: disables auditing
+    audit: Union[AuditConfig, bool, None] = True
+    #: stop watching an admitted-but-incomplete leaf this many nominal
+    #: content durations (l/τ) after its admission, releasing its
+    #: reservation — bounds simulation time under starvation
+    watch_durations: float = 4.0
+
+    def __post_init__(self) -> None:
+        template = self.session
+        if isinstance(template.protocol, CoordinationProtocol):
+            raise ValueError(
+                "swarm templates need a declarative protocol (name or "
+                "ProtocolSpec) — a live instance would be shared by "
+                "every leaf session"
+            )
+        owned = {
+            "fault_plan": template.fault_plan,
+            "churn_plan": template.churn_plan,
+            "partition_plan": template.partition_plan,
+            "trace": template.trace,
+            "audit": template.audit,
+            "upload_capacity": template.upload_capacity,
+        }
+        conflicts = [k for k, v in owned.items() if v is not None]
+        if template.profile not in (None, False):
+            conflicts.append("profile")
+        if template.spans not in (None, False):
+            conflicts.append("spans")
+        if conflicts:
+            raise ValueError(
+                "swarm-owned concerns set on the session template: "
+                + ", ".join(sorted(conflicts))
+                + " (configure them on the SwarmSpec instead)"
+            )
+        if self.watch_durations <= 0:
+            raise ValueError("watch_durations must be positive")
+
+    # ------------------------------------------------------------------
+    def build(self) -> "SwarmSession":
+        return SwarmSession(self)
+
+    def run(self, until: Optional[float] = None) -> "SwarmResult":
+        return self.build().run(until=until)
+
+    def replace(self, **changes) -> "SwarmSpec":
+        return replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "SwarmSpec":
+        return replace(self, session=self.session.with_seed(seed))
+
+    def describe(self) -> str:
+        plan = self.join_plan
+        return (
+            f"SwarmSpec({self.session.describe()}, leaves="
+            f"{plan.total_leaves}, mode={plan.mode}, "
+            f"rate={plan.rate_per_delta}/δ, "
+            f"capacity={'finite' if self.capacity else 'infinite'}, "
+            f"admission={'on' if self.admission else 'off'})"
+        )
+
+
+# ----------------------------------------------------------------------
+# runtime pieces
+# ----------------------------------------------------------------------
+class PeerHub:
+    """One *physical* contents peer shared by every leaf session.
+
+    Owns the single overlay node and (optionally) the shared
+    :class:`~repro.net.capacity.UploadBudget`; hosts one per-leaf
+    :class:`~repro.streaming.contents_peer.ContentsPeerAgent` per served
+    session and routes deliveries to the right agent by the message's
+    coordination context (falling back to the source when a leaf sends
+    untagged protocol traffic).
+    """
+
+    def __init__(
+        self,
+        swarm: "SwarmSession",
+        peer_id: str,
+        capacity: Optional[CapacityPolicy],
+    ) -> None:
+        self.swarm = swarm
+        self.peer_id = peer_id
+        self.node = swarm.overlay.add_node(peer_id)
+        self.node.on_deliver = self._dispatch
+        self.budget: Optional[UploadBudget] = None
+        if capacity is not None:
+            self.budget = UploadBudget(
+                peer_id, capacity, swarm.config.delta, swarm.env
+            )
+        #: leaf_id -> this peer's agent inside that leaf's session
+        self.agents: Dict[str, "ContentsPeerAgent"] = {}
+
+    def attach(self, leaf_id: str, agent: "ContentsPeerAgent") -> None:
+        self.agents[leaf_id] = agent
+
+    def _dispatch(self, message: Message) -> None:
+        ctx = message.ctx
+        if ctx is None and message.src in self.swarm.sessions:
+            # untagged leaf→peer protocol traffic: the sender identifies
+            # the session
+            ctx = message.src
+        agent = self.agents.get(ctx) if ctx is not None else None
+        if agent is None:
+            self.swarm.unroutable += 1
+            return
+        agent._on_deliver(message)
+
+
+class AdmissionController:
+    """Reservation ledger over the reachable pool's aggregate budget."""
+
+    def __init__(
+        self, swarm: "SwarmSession", policy: AdmissionPolicy
+    ) -> None:
+        self.swarm = swarm
+        self.policy = policy
+        #: leaf_id -> reserved stream rate (packets/ms)
+        self.reserved: Dict[str, float] = {}
+        self.admits = 0
+        self.rejects = 0
+        self.releases = 0
+        self.retries = 0
+
+    @property
+    def active(self) -> int:
+        return len(self.reserved)
+
+    def pool_rate(self) -> float:
+        """Aggregate budget rate (packets/ms) of reachable peers."""
+        total = 0.0
+        for hub in self.swarm.hubs.values():
+            if hub.node.down:
+                continue
+            if hub.budget is None:
+                return math.inf
+            total += hub.budget.rate_per_ms
+        return total
+
+    def try_admit(self, leaf_id: str) -> bool:
+        cfg = self.swarm.config
+        demand = cfg.tau * self.policy.demand_margin
+        pool = self.pool_rate() * self.policy.utilization_cap
+        used = math.fsum(self.reserved.values())
+        if used + demand <= pool * (1.0 + 1e-12):
+            self.reserved[leaf_id] = demand
+            self.admits += 1
+            self.swarm._emit(
+                "admit.grant", leaf_id,
+                reserved=demand, used=used + demand, pool=pool,
+                active=self.active,
+            )
+            return True
+        self.rejects += 1
+        self.swarm._emit(
+            "admit.reject", leaf_id,
+            demand=demand, used=used, pool=pool, active=self.active,
+        )
+        return False
+
+    def release(self, leaf_id: str) -> None:
+        reserved = self.reserved.pop(leaf_id, None)
+        if reserved is None:
+            return
+        self.releases += 1
+        self.swarm._emit(
+            "admit.release", leaf_id,
+            reserved=reserved, active=self.active,
+        )
+
+
+# ----------------------------------------------------------------------
+# outcomes
+# ----------------------------------------------------------------------
+@dataclass
+class LeafOutcome:
+    """One leaf's journey through the storm."""
+
+    leaf_id: str
+    arrived_at: Optional[float] = None
+    #: admission attempts made (1 = admitted first try)
+    attempts: int = 0
+    admitted: bool = False
+    admitted_at: Optional[float] = None
+    #: retry budget exhausted without admission
+    gave_up: bool = False
+    #: receipt/delivery are snapshotted at the leaf's *watch deadline*
+    #: (a few content durations after admission), not at end-of-sim
+    #: quiescence — an overloaded swarm eventually drains everything, so
+    #: only the deadline view distinguishes on-time streaming from a
+    #: crawl.  A leaf that completes early snapshots at completion.
+    receipt_rate: float = 0.0
+    delivery_ratio: float = 0.0
+    completed_at: Optional[float] = None
+    #: True once the lifecycle snapshotted receipt/delivery (guards the
+    #: end-of-run collector from overwriting the deadline view)
+    measured: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "leaf_id": self.leaf_id,
+            "arrived_at": self.arrived_at,
+            "attempts": self.attempts,
+            "admitted": self.admitted,
+            "admitted_at": self.admitted_at,
+            "gave_up": self.gave_up,
+            "receipt_rate": self.receipt_rate,
+            "delivery_ratio": self.delivery_ratio,
+            "completed_at": self.completed_at,
+        }
+
+
+@dataclass
+class SwarmResult:
+    """Everything the harness reads from one swarm run."""
+
+    protocol: str
+    seed: int
+    n_peers: int
+    n_leaves: int
+    outcomes: List[LeafOutcome]
+    admitted: int
+    gave_up: int
+    retries: int
+    #: mean leaf receipt rate over ALL arrivals (gave-up leaves count 0)
+    #: — the load curve's honest y-axis: admission trades served leaves
+    #: for quality, and this metric rewards neither cheaply
+    mean_receipt_all: float = 0.0
+    #: mean receipt rate over admitted leaves only
+    mean_receipt_admitted: float = 0.0
+    #: min delivery ratio over admitted leaves (1.0 when none)
+    min_delivery_admitted: float = 1.0
+    completed: int = 0
+    shed_data: int = 0
+    shed_parity: int = 0
+    queued_sends: int = 0
+    peak_backlog: int = 0
+    #: deliveries a hub could not route to a leaf session (should be 0)
+    unroutable: int = 0
+    #: reservations still held when the run ended (should be 0)
+    reservations_at_end: int = 0
+    elapsed: float = 0.0
+    trace: Union["TraceBus", Dict[str, Any], None] = field(
+        default=None, repr=False, compare=False
+    )
+    audit: Union["AuditReport", Dict[str, Any], None] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def audit_passed(self) -> Optional[bool]:
+        audit = self.audit
+        if audit is None:
+            return None
+        if isinstance(audit, dict):
+            return all(
+                entry.get("passed", False)
+                for entry in audit.get("auditors", {}).values()
+            )
+        return audit.passed
+
+    def summary(self) -> str:
+        return (
+            f"{self.protocol} swarm: {self.admitted}/{self.n_leaves} "
+            f"admitted, {self.completed} complete, "
+            f"receipt(all)={self.mean_receipt_all:.3f}, "
+            f"shed={self.shed_data}+{self.shed_parity}p, "
+            f"audit={'pass' if self.audit_passed in (True, None) else 'FAIL'}"
+        )
+
+    def detach(self) -> "SwarmResult":
+        """A picklable copy (live handles → exported dict forms)."""
+        trace = self.trace
+        audit = self.audit
+        detached = False
+        if audit is not None and not isinstance(audit, dict):
+            audit = audit.to_dict()
+            detached = True
+        if isinstance(trace, TraceBus):
+            from repro.obs.exporters import event_to_dict
+
+            trace = {
+                "type": "trace",
+                "events": [event_to_dict(e) for e in trace.events],
+                "dropped_events": trace.dropped_events,
+                "counts_by_kind": dict(trace.counts_by_kind),
+                "participants": list(trace.participants),
+            }
+            detached = True
+        if not detached:
+            return self
+        return replace(self, trace=trace, audit=audit)
+
+
+# ----------------------------------------------------------------------
+# the session
+# ----------------------------------------------------------------------
+class SwarmSession:
+    """One multi-leaf run over a shared overlay (see module docstring)."""
+
+    def __init__(self, spec: SwarmSpec) -> None:
+        self.spec = spec
+        template = spec.session
+        config = template.config
+        self.template = template
+        self.config = config
+        from repro.streaming.spec import resolve_protocol
+
+        self.protocol_name = resolve_protocol(template.protocol).name
+        self.env = Environment(
+            scheduler=resolve_scheduler(template.scheduler, config.delta)
+        )
+        self.streams = RandomStreams(config.seed)
+        # --- observability --------------------------------------------
+        audit = spec.audit
+        if audit is True:
+            audit = AuditConfig(auditors=("capacity",))
+        elif audit is False:
+            audit = None
+        trace = spec.trace
+        if audit is not None and trace is None:
+            trace = TraceConfig()
+        self.trace_bus: Optional[TraceBus] = None
+        if trace is not None:
+            self.trace_bus = TraceBus(trace, self.env)
+            self.env.hooks.tracer = self.trace_bus
+        # --- shared substrate -----------------------------------------
+        latency = resolve_latency(template.latency)
+        latency_factory = None
+        if latency is None:
+            # same default as single-leaf sessions: per-pair constant
+            # latency drawn once from δ·U(1−s, 1+s)
+            spread = config.pair_latency_spread
+            pair_rng = self.streams.get("latency/pairs")
+
+            def latency_factory(src: str, dst: str) -> ConstantLatency:
+                factor = 1.0 + spread * (2.0 * pair_rng.random() - 1.0)
+                return ConstantLatency(config.delta * factor)
+
+        self.overlay = Overlay(
+            self.env,
+            streams=self.streams,
+            default_latency=latency,
+            default_loss_factory=resolve_loss_factory(template.loss),
+            latency_factory=latency_factory,
+            control_loss_factory=resolve_loss_factory(template.control_loss),
+            link_fault_factory=resolve_link_fault_factory(template.link_fault),
+        )
+        self.content = MediaContent(
+            "content",
+            n_packets=config.content_packets,
+            packet_size=config.packet_size,
+            rate=config.tau,
+            seed=config.seed,
+            with_payload=config.with_payload,
+        )
+        self.peer_ids: List[str] = [
+            f"CP{i}" for i in range(1, config.n + 1)
+        ]
+        self.hubs: Dict[str, PeerHub] = {}
+        self.upload_budgets: Dict[str, UploadBudget] = {}
+        for pid in self.peer_ids:
+            hub = PeerHub(self, pid, spec.capacity)
+            self.hubs[pid] = hub
+            if hub.budget is not None:
+                self.upload_budgets[pid] = hub.budget
+        if self.trace_bus is not None:
+            self.trace_bus.participants = list(self.peer_ids)
+        # --- leaves ----------------------------------------------------
+        #: leaf_id -> live per-leaf session (admitted leaves only)
+        self.sessions: Dict[str, StreamingSession] = {}
+        self.outcomes: Dict[str, LeafOutcome] = {}
+        self.unroutable = 0
+        self.admission: Optional[AdmissionController] = None
+        if spec.admission is not None:
+            self.admission = AdmissionController(self, spec.admission)
+        self._backoff_rng = self.streams.get("swarm/backoff")
+        # --- auditors (swarm-level; bound without a session) -----------
+        self.auditors: List["Auditor"] = []
+        self._audit_report: Optional["AuditReport"] = None
+        if audit is not None:
+            from repro.obs.audit import build_auditors
+
+            self.auditors = build_auditors(audit)
+            for auditor in self.auditors:
+                auditor.bind(
+                    self.trace_bus,
+                    None,
+                    n_packets=config.content_packets,
+                )
+                self.trace_bus.subscribe(auditor.on_event)
+        # --- arrivals ---------------------------------------------------
+        join_rng = self.streams.get("swarm/joins")
+        offsets = spec.join_plan.arrival_offsets(config.delta, join_rng)
+        self.leaf_ids: List[str] = [
+            f"leaf{i}" for i in range(1, len(offsets) + 1)
+        ]
+        for leaf_id, at in zip(self.leaf_ids, offsets):
+            self.outcomes[leaf_id] = LeafOutcome(leaf_id)
+            self.env.process(self._leaf_lifecycle(leaf_id, at))
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, subject: str, **data) -> None:
+        if self.trace_bus is not None:
+            self.trace_bus.emit(kind, subject, **data)
+
+    def _leaf_lifecycle(self, leaf_id: str, at: float):
+        """Arrival → admission (with backoff retries) → stream → release."""
+        if at > 0:
+            yield self.env.timeout(at)
+        outcome = self.outcomes[leaf_id]
+        outcome.arrived_at = self.env.now
+        self._emit("admit.request", leaf_id, at=self.env.now)
+        admitted = True
+        if self.admission is not None:
+            pol = self.spec.admission
+            retry = pol.retry
+            wait = retry.ack_timeout_deltas * self.config.delta
+            admitted = False
+            for attempt in range(retry.max_retries + 1):
+                outcome.attempts += 1
+                if self.admission.try_admit(leaf_id):
+                    admitted = True
+                    break
+                if attempt == retry.max_retries:
+                    break
+                # full jitter over [1 − j/2, 1 + j/2] — the PR 6 shape,
+                # from the swarm's own deterministic stream
+                jittered = wait * (
+                    1.0
+                    + retry.jitter * (float(self._backoff_rng.random()) - 0.5)
+                )
+                self.admission.retries += 1
+                self._emit(
+                    "admit.retry", leaf_id,
+                    attempt=attempt + 1, wait=jittered,
+                )
+                yield self.env.timeout(jittered)
+                wait *= retry.backoff
+        else:
+            outcome.attempts = 1
+        if not admitted:
+            outcome.gave_up = True
+            self._emit("admit.give_up", leaf_id, attempts=outcome.attempts)
+            return
+        outcome.admitted = True
+        outcome.admitted_at = self.env.now
+        session = StreamingSession.for_swarm(self.template, self, leaf_id)
+        self.sessions[leaf_id] = session
+        session.initiate()
+        # --- watch: poll for completion, then release the reservation ---
+        cfg = self.config
+        duration = cfg.content_packets / cfg.tau
+        deadline = (
+            self.env.now
+            + self.spec.watch_durations * duration
+            + cfg.delta
+        )
+        leaf = session.leaf
+        while self.env.now < deadline:
+            yield self.env.timeout(cfg.delta)
+            if leaf.decoder.complete:
+                break
+        # deadline (or completion) snapshot — the QoE that counts.
+        # Whatever dribbles in after the viewer's patience ran out is
+        # still simulated (the run drains to quiescence) but no longer
+        # credited to this leaf.
+        outcome.receipt_rate = leaf.receipt_rate()
+        outcome.delivery_ratio = leaf.decoder.delivery_ratio()
+        outcome.completed_at = leaf.completed_at
+        outcome.measured = True
+        if self.admission is not None:
+            self.admission.release(leaf_id)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SwarmResult:
+        self.env.run(until=until)
+        return self._collect()
+
+    def _collect(self) -> SwarmResult:
+        for leaf_id, session in self.sessions.items():
+            outcome = self.outcomes[leaf_id]
+            if not outcome.measured:
+                # the run was truncated (run(until=...)) before this
+                # leaf's watch deadline: fall back to the end-of-run view
+                outcome.receipt_rate = session.leaf.receipt_rate()
+                outcome.delivery_ratio = session.leaf.decoder.delivery_ratio()
+            if outcome.completed_at is None:
+                outcome.completed_at = session.leaf.completed_at
+        if self.auditors and self._audit_report is None:
+            for auditor in self.auditors:
+                auditor.finish(None)
+            from repro.obs.audit import AuditReport
+
+            self._audit_report = AuditReport.from_auditors(
+                self.protocol_name, self.config.seed, self.auditors
+            )
+        if self.trace_bus is not None:
+            self.trace_bus.finalize()
+        outcomes = [self.outcomes[l] for l in self.leaf_ids]
+        admitted = [o for o in outcomes if o.admitted]
+        gave_up = sum(1 for o in outcomes if o.gave_up)
+        receipts_all = [o.receipt_rate for o in outcomes]
+        receipts_admitted = [o.receipt_rate for o in admitted]
+        deliveries = [o.delivery_ratio for o in admitted]
+        budgets = list(self.upload_budgets.values())
+        return SwarmResult(
+            protocol=self.protocol_name,
+            seed=self.config.seed,
+            n_peers=self.config.n,
+            n_leaves=len(outcomes),
+            outcomes=outcomes,
+            admitted=len(admitted),
+            gave_up=gave_up,
+            retries=(
+                self.admission.retries if self.admission is not None else 0
+            ),
+            mean_receipt_all=(
+                math.fsum(receipts_all) / len(receipts_all)
+                if receipts_all
+                else 0.0
+            ),
+            mean_receipt_admitted=(
+                math.fsum(receipts_admitted) / len(receipts_admitted)
+                if receipts_admitted
+                else 0.0
+            ),
+            min_delivery_admitted=(
+                min(deliveries) if deliveries else 1.0
+            ),
+            completed=sum(
+                1 for o in outcomes if o.completed_at is not None
+            ),
+            shed_data=sum(b.shed_data for b in budgets),
+            shed_parity=sum(b.shed_parity for b in budgets),
+            queued_sends=sum(b.queued_sends for b in budgets),
+            peak_backlog=max(
+                (b.peak_backlog for b in budgets), default=0
+            ),
+            unroutable=self.unroutable,
+            reservations_at_end=(
+                self.admission.active if self.admission is not None else 0
+            ),
+            elapsed=self.env.now,
+            trace=self.trace_bus,
+            audit=self._audit_report,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SwarmSession {len(self.leaf_ids)} leaves over "
+            f"{len(self.peer_ids)} peers t={self.env.now}>"
+        )

@@ -340,3 +340,71 @@ def test_bad_retransmit_values_fail_with_exit_2(capsys):
     rc = main(["trace", "--protocol", "dcop", "--retransmit", "adaptive"])
     assert rc == 2
     assert "expected key=value" in capsys.readouterr().err
+
+
+def test_jobs_auto_selects_executor(capsys):
+    # '--jobs auto' must run and print the same table a serial run does
+    rc = main(["fig10", "--quick", "--jobs", "auto"])
+    assert rc == 0
+    auto_out = capsys.readouterr().out
+    main(["fig10", "--quick"])
+    assert auto_out == capsys.readouterr().out
+
+
+def test_jobs_rejects_garbage(capsys):
+    for bad in ("bogus", "0", "-2"):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig10", "--quick", "--jobs", bad])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+def test_trace_capacity_flag_caps_a_single_session(capsys):
+    rc = main(
+        [
+            "trace", "--protocol", "dcop", "--quick",
+            "--n", "6", "--H", "2",
+            "--capacity", "packets_per_delta=4,queue_limit=16",
+        ]
+    )
+    assert rc == 0
+    assert "trace:" in capsys.readouterr().out
+
+
+def test_trace_capacity_flag_rejects_garbage(capsys):
+    rc = main(
+        ["trace", "--quick", "--capacity", "packets_per_delta=-1"]
+    )
+    assert rc == 2
+    assert "capacity" in capsys.readouterr().err
+    rc = main(["trace", "--quick", "--capacity", "nonsense"])
+    assert rc == 2
+    capsys.readouterr()
+
+
+def test_trace_join_storm_runs_a_swarm(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "swarm.json"
+    rc = main(
+        [
+            "trace", "--protocol", "dcop",
+            "--n", "6", "--H", "2", "--packets", "20",
+            "--capacity", "packets_per_delta=6",
+            "--join-storm", "leaves=3,rate_per_delta=1.0",
+            "--trace-out", str(out),
+        ]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "leaf" in printed.lower()
+    assert "retries=" in printed
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+
+
+def test_join_storm_refused_by_perf_and_spans(capsys):
+    for sub in ("perf", "spans"):
+        rc = main([sub, "--quick", "--join-storm", "leaves=2"])
+        assert rc == 2
+        assert "join-storm" in capsys.readouterr().err

@@ -166,3 +166,36 @@ def test_executors_close_without_error():
     for executor in (SerialExecutor(), ParallelExecutor(jobs=2)):
         executor.map([_spec()])
         executor.close()
+
+
+# ----------------------------------------------------------------------
+# auto-selection from measured cores
+# ----------------------------------------------------------------------
+def test_available_cores_is_positive():
+    from repro.experiments import available_cores
+
+    assert available_cores() >= 1
+
+
+def test_auto_executor_serial_on_one_core_parallel_otherwise():
+    from repro.experiments import auto_executor
+
+    assert isinstance(auto_executor(jobs=1), SerialExecutor)
+    many = auto_executor(jobs=4)
+    assert isinstance(many, ParallelExecutor)
+    assert many.jobs == 4
+    # a single spec never pays the pool, whatever the box looks like
+    assert isinstance(auto_executor(n_specs=1, jobs=8), SerialExecutor)
+    # and the fan-out never exceeds the work available
+    assert auto_executor(n_specs=3, jobs=8).jobs == 3
+
+
+def test_auto_executor_defaults_to_measured_cores():
+    from repro.experiments import auto_executor, available_cores
+
+    executor = auto_executor()
+    if available_cores() < 2:
+        assert isinstance(executor, SerialExecutor)
+    else:
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == available_cores()

@@ -94,3 +94,27 @@ def test_partition_streaming(capsys, tmp_path, monkeypatch):
     assert report["type"] == "audit_report"
     assert report["passed"] is True
     assert report["auditors"]["duplicate_effect"]["violations"] == []
+
+
+def test_flash_crowd(capsys, tmp_path, monkeypatch):
+    import json
+
+    report_path = tmp_path / "audit.json"
+    monkeypatch.setattr(sys, "argv", ["flash_crowd.py", str(report_path)])
+    out = run_example("flash_crowd.py", capsys)
+    assert "flash crowd" in out
+    assert "crushing" in out
+    assert "FAIL" not in out
+    assert "no rejected leaf served): PASS" in out
+    # the CI artifact: one audit verdict per (load, arm) cell
+    reports = json.loads(report_path.read_text())
+    assert set(reports) == {
+        "light/on", "light/off", "busy/on", "busy/off",
+        "crushing/on", "crushing/off",
+    }
+    assert all(r["passed"] for r in reports.values())
+    # the crushing load point is the reason admission exists: the
+    # admission-off arm rejects nobody yet serves everybody worse
+    lines = [l for l in out.splitlines() if l.startswith("crushing")]
+    receipts = {l.split()[2]: float(l.split()[-2]) for l in lines}
+    assert receipts["on"] >= receipts["off"]
